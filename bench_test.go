@@ -1,0 +1,150 @@
+package repro
+
+// Benchmark harness: one benchmark per table/figure of the paper, each
+// regenerating the experiment at quick scale and reporting its table, plus
+// micro-benchmarks for the hot substrate operations. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Use cmd/fluxsim (without -quick) for full-scale regeneration.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/fed"
+	"repro/internal/flux/profile"
+	"repro/internal/moe"
+	"repro/internal/quant"
+	"repro/internal/simtime"
+	"repro/internal/tensor"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiments.Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			tab.Fprint(testLogWriter{b})
+		}
+	}
+}
+
+type testLogWriter struct{ b *testing.B }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+var _ io.Writer = testLogWriter{}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkTable1Models(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFigure1TuningCost(b *testing.B)   { benchExperiment(b, "figure1") }
+func BenchmarkFigure2Activation(b *testing.B)   { benchExperiment(b, "figure2") }
+func BenchmarkFigure3NonTuning(b *testing.B)    { benchExperiment(b, "figure3") }
+func BenchmarkFigure5QuantError(b *testing.B)   { benchExperiment(b, "figure5") }
+func BenchmarkFigure6Drift(b *testing.B)        { benchExperiment(b, "figure6") }
+func BenchmarkFigure8LayerError(b *testing.B)   { benchExperiment(b, "figure8") }
+func BenchmarkFigure9Significance(b *testing.B) { benchExperiment(b, "figure9") }
+func BenchmarkFigure10Convergence(b *testing.B) { benchExperiment(b, "figure10") }
+func BenchmarkFigure11Convergence(b *testing.B) { benchExperiment(b, "figure11") }
+func BenchmarkTable2Final(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkFigure12Scalability(b *testing.B) { benchExperiment(b, "figure12") }
+func BenchmarkFigure13Scalability(b *testing.B) { benchExperiment(b, "figure13") }
+func BenchmarkFigure14Stale(b *testing.B)       { benchExperiment(b, "figure14") }
+func BenchmarkFigure15LayerSize(b *testing.B)   { benchExperiment(b, "figure15") }
+func BenchmarkFigure16Clustering(b *testing.B)  { benchExperiment(b, "figure16") }
+func BenchmarkFigure17Merging(b *testing.B)     { benchExperiment(b, "figure17") }
+func BenchmarkFigure18GradEst(b *testing.B)     { benchExperiment(b, "figure18") }
+func BenchmarkFigure19Epsilon(b *testing.B)     { benchExperiment(b, "figure19") }
+func BenchmarkFigure20Overhead(b *testing.B)    { benchExperiment(b, "figure20") }
+
+// Micro-benchmarks for the substrate's hot paths.
+
+func BenchmarkMoEForward(b *testing.B) {
+	m := moe.MustNew(moe.SimConfigLLaMATrain(), tensor.Named("bench-fwd"))
+	g := tensor.NewRNG(1)
+	seq := make([]int, 48)
+	for i := range seq {
+		seq[i] = g.Intn(m.Cfg.VocabSize)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(seq, nil, -1)
+	}
+}
+
+func BenchmarkMoEForwardBackward(b *testing.B) {
+	m := moe.MustNew(moe.SimConfigLLaMATrain(), tensor.Named("bench-bwd"))
+	g := tensor.NewRNG(2)
+	seq := make([]int, 48)
+	for i := range seq {
+		seq[i] = g.Intn(m.Cfg.VocabSize)
+	}
+	grads := moe.NewGrads(m, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBackward(seq, nil, grads, nil, -1)
+	}
+}
+
+func BenchmarkQuantizeModel(b *testing.B) {
+	m := moe.MustNew(moe.SimConfigLLaMATrain(), tensor.Named("bench-quant"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		moe.QuantizedClone(m, quant.Bits4)
+	}
+}
+
+func BenchmarkProfilingPass(b *testing.B) {
+	m := moe.MustNew(moe.SimConfigLLaMATrain(), tensor.Named("bench-prof"))
+	ds := data.Generate(data.GSM8K(), m.Cfg.VocabSize, 8, tensor.NewRNG(3))
+	p := profile.Profiler{Bits: quant.Bits4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(m, ds.Samples)
+	}
+}
+
+func BenchmarkFedAggregate(b *testing.B) {
+	m := moe.MustNew(moe.SimConfigLLaMATrain(), tensor.Named("bench-agg"))
+	tuning := make([][]int, m.Cfg.Layers())
+	for l := range tuning {
+		tuning[l] = []int{0, 1, 2}
+	}
+	updates := make([]fed.Update, 10)
+	for i := range updates {
+		updates[i] = fed.ExtractUpdate(m, i, 1, tuning)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fed.Aggregate(m, updates)
+	}
+}
+
+// BenchmarkOffloadVsCompute reports the simulated cost ratio that motivates
+// Flux over FMD (an ablation-style sanity bench, not a paper figure).
+func BenchmarkOffloadVsCompute(b *testing.B) {
+	cfg := moe.SimConfigLLaMATrain()
+	dev := simtime.ConsumerTiers()[0]
+	total := 0
+	for _, e := range cfg.ExpertsPerLayer {
+		total += e
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		compute := dev.Seconds(simtime.TrainFlops(cfg, 16*cfg.MaxSeqLen, 1.0))
+		offload := dev.OffloadSeconds(cfg, int(2*(1-dev.CapacityFrac)*float64(total)))
+		ratio = offload / compute
+	}
+	b.ReportMetric(ratio, "offload/compute")
+}

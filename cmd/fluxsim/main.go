@@ -1,0 +1,46 @@
+// Command fluxsim regenerates the paper's tables and figures on the Go
+// substrate.
+//
+// Usage:
+//
+//	fluxsim -exp figure10          # one experiment, full scale
+//	fluxsim -exp all -quick        # the whole suite at bench scale
+//	fluxsim -list                  # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, figure1, ... figure20) or 'all'")
+	quick := flag.Bool("quick", false, "reduced rounds/samples; same workload shapes")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Order(), "\n"))
+		return
+	}
+	opts := experiments.Options{Quick: *quick}
+	ids := experiments.Order()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(strings.TrimSpace(id), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fluxsim:", err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Federated Fine-Tuning
+// of Sparsely-Activated Large Language Models on Resource-Constrained
+// Devices" (Flux, EUROSYS '26): a trainable MoE transformer substrate, a
+// federated learning engine with a simulated consumer-GPU testbed, the Flux
+// system (quantized stale profiling, adaptive expert merging, dynamic expert
+// role assignment), the FMD/FMQ/FMES baselines, and a harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The root-level
+// benchmarks (bench_test.go) regenerate each experiment; cmd/fluxsim is the
+// equivalent CLI.
+package repro

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// twoBlobs builds 2n points: n near direction (1,0,...) and n near (0,1,...).
+func twoBlobs(n, d int, g *tensor.RNG) *tensor.Matrix {
+	x := tensor.NewMatrix(2*n, d)
+	for i := 0; i < 2*n; i++ {
+		row := x.Row(i)
+		axis := 0
+		if i >= n {
+			axis = 1
+		}
+		row[axis] = 1
+		for j := 0; j < d; j++ {
+			row[j] += g.Gauss(0, 0.05)
+		}
+	}
+	return x
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	g := tensor.NewRNG(1)
+	x := twoBlobs(20, 6, g)
+	r := KMeans(x, 2, 50, g)
+	if r.K != 2 {
+		t.Fatalf("k = %d", r.K)
+	}
+	// All first-blob points in one cluster, all second-blob points in the other.
+	c0 := r.Assign[0]
+	for i := 1; i < 20; i++ {
+		if r.Assign[i] != c0 {
+			t.Fatalf("first blob split: point %d", i)
+		}
+	}
+	c1 := r.Assign[20]
+	if c1 == c0 {
+		t.Fatal("blobs merged into one cluster")
+	}
+	for i := 21; i < 40; i++ {
+		if r.Assign[i] != c1 {
+			t.Fatalf("second blob split: point %d", i)
+		}
+	}
+}
+
+func TestKMeansClampK(t *testing.T) {
+	g := tensor.NewRNG(2)
+	x := tensor.NewMatrix(3, 4)
+	x.RandInit(g, 1)
+	r := KMeans(x, 10, 10, g)
+	if r.K != 3 {
+		t.Fatalf("k should clamp to n, got %d", r.K)
+	}
+}
+
+func TestKMeansPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KMeans(tensor.NewMatrix(2, 2), 0, 5, tensor.NewRNG(1))
+}
+
+func TestGroupsPartition(t *testing.T) {
+	g := tensor.NewRNG(3)
+	x := twoBlobs(10, 4, g)
+	r := KMeans(x, 3, 50, g)
+	seen := make([]bool, x.Rows)
+	for _, grp := range r.Groups() {
+		for _, i := range grp {
+			if seen[i] {
+				t.Fatalf("point %d in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d unassigned", i)
+		}
+	}
+}
+
+func fusedFixture(g *tensor.RNG) (*tensor.Matrix, []LayerPoint, []int) {
+	// 3 layers × 8 experts, 2 clusters each.
+	const L, E = 3, 8
+	feats := tensor.NewMatrix(L*E, 6)
+	points := make([]LayerPoint, 0, L*E)
+	i := 0
+	for l := 0; l < L; l++ {
+		for e := 0; e < E; e++ {
+			row := feats.Row(i)
+			axis := 0
+			if e >= E/2 {
+				axis = 1
+			}
+			row[axis] = 1
+			for j := range row {
+				row[j] += g.Gauss(0, 0.05)
+			}
+			points = append(points, LayerPoint{Layer: l, Expert: e})
+			i++
+		}
+	}
+	return feats, points, []int{2, 2, 2}
+}
+
+func TestFusedKMeansRespectsLayers(t *testing.T) {
+	g := tensor.NewRNG(4)
+	feats, points, budget := fusedFixture(g)
+	r, err := FusedKMeans(feats, points, budget, 50, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.GroupsByLayer) != 3 {
+		t.Fatalf("%d layers", len(r.GroupsByLayer))
+	}
+	for l, groups := range r.GroupsByLayer {
+		if len(groups) != 2 {
+			t.Fatalf("layer %d has %d groups", l, len(groups))
+		}
+		total := 0
+		for _, grp := range groups {
+			total += len(grp)
+			for _, e := range grp {
+				if e < 0 || e >= 8 {
+					t.Fatalf("layer %d: expert id %d out of range", l, e)
+				}
+			}
+		}
+		if total != 8 {
+			t.Fatalf("layer %d groups cover %d experts", l, total)
+		}
+	}
+}
+
+func TestFusedMatchesPerLayerQuality(t *testing.T) {
+	// On well-separated blobs both methods must find the same partition.
+	g := tensor.NewRNG(5)
+	feats, points, budget := fusedFixture(g)
+	fused, err := FusedKMeans(feats, points, append([]int(nil), budget...), 50, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer, err := PerLayerKMeans(feats, points, append([]int(nil), budget...), 50, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(groups [][]int) map[int]int {
+		// expert id -> which half (0: experts 0-3, 1: experts 4-7) its
+		// groupmates are in; used to compare partitions up to relabeling.
+		out := map[int]int{}
+		for gi, grp := range groups {
+			for _, e := range grp {
+				out[e] = gi
+			}
+		}
+		return out
+	}
+	for l := range fused.GroupsByLayer {
+		f := norm(fused.GroupsByLayer[l])
+		p := norm(perLayer.GroupsByLayer[l])
+		// Experts 0 and 1 same cluster in both; 0 and 4 different in both.
+		if (f[0] == f[4]) || (p[0] == p[4]) {
+			t.Fatalf("layer %d: blobs not separated (fused %v perlayer %v)", l, f, p)
+		}
+		if (f[0] != f[3]) || (p[0] != p[3]) {
+			t.Fatalf("layer %d: blob members split", l)
+		}
+	}
+}
+
+func TestFusedBudgetClamp(t *testing.T) {
+	g := tensor.NewRNG(6)
+	feats := tensor.NewMatrix(2, 4)
+	feats.RandInit(g, 1)
+	points := []LayerPoint{{Layer: 0, Expert: 0}, {Layer: 0, Expert: 1}}
+	r, err := FusedKMeans(feats, points, []int{5}, 10, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.GroupsByLayer[0]) != 2 {
+		t.Fatalf("budget should clamp to point count, got %d groups", len(r.GroupsByLayer[0]))
+	}
+}
+
+func TestFusedRejectsBadLayer(t *testing.T) {
+	g := tensor.NewRNG(7)
+	feats := tensor.NewMatrix(1, 4)
+	if _, err := FusedKMeans(feats, []LayerPoint{{Layer: 5, Expert: 0}}, []int{1}, 10, g); err == nil {
+		t.Fatal("expected error for out-of-range layer")
+	}
+	if _, err := FusedKMeans(feats, []LayerPoint{{Layer: 0, Expert: 0}, {Layer: 0, Expert: 1}}, []int{1}, 10, g); err == nil {
+		t.Fatal("expected error for row/point mismatch")
+	}
+}
+
+func TestPerLayerEmptyLayer(t *testing.T) {
+	g := tensor.NewRNG(8)
+	feats := tensor.NewMatrix(2, 4)
+	feats.RandInit(g, 1)
+	points := []LayerPoint{{Layer: 1, Expert: 0}, {Layer: 1, Expert: 1}}
+	r, err := PerLayerKMeans(feats, points, []int{2, 1}, 10, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.GroupsByLayer[0]) != 0 {
+		t.Fatal("empty layer should have no groups")
+	}
+	if len(r.GroupsByLayer[1]) != 1 {
+		t.Fatalf("layer 1 should have 1 group, got %d", len(r.GroupsByLayer[1]))
+	}
+}

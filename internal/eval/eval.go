@@ -1,0 +1,62 @@
+// Package eval scores MoE models on the synthetic datasets, implementing the
+// paper's per-dataset evaluation protocol: ROUGE-L of greedy continuations
+// for generation datasets, option accuracy for multiple-choice datasets.
+package eval
+
+import (
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/tensor"
+)
+
+// Evaluate scores the model on the given test samples using the profile's
+// task metric and returns the raw score in [0,1].
+func Evaluate(m *moe.Model, p data.Profile, test []*data.Sample) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range test {
+		sum += ScoreSample(m, p, s)
+	}
+	return sum / float64(len(test))
+}
+
+// ScoreSample scores a single sample.
+func ScoreSample(m *moe.Model, p data.Profile, s *data.Sample) float64 {
+	switch p.Task {
+	case data.Generation:
+		gen := m.Generate(s.Prompt, len(s.Completion))
+		return metrics.RougeL(gen, s.Completion)
+	case data.MultipleChoice:
+		scores := make([]float64, len(s.Options))
+		for i, opt := range s.Options {
+			scores[i] = m.ScoreContinuation(s.Prompt, opt)
+		}
+		if tensor.ArgMax(scores) == s.Answer {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// EvaluateSubset scores the model on at most n samples from test, chosen
+// deterministically (every k-th sample). Convergence experiments use this to
+// keep evaluation cost proportional to training cost.
+func EvaluateSubset(m *moe.Model, p data.Profile, test []*data.Sample, n int) float64 {
+	if n <= 0 || n >= len(test) {
+		return Evaluate(m, p, test)
+	}
+	stride := len(test) / n
+	if stride == 0 {
+		stride = 1
+	}
+	sub := make([]*data.Sample, 0, n)
+	for i := 0; i < len(test) && len(sub) < n; i += stride {
+		sub = append(sub, test[i])
+	}
+	return Evaluate(m, p, sub)
+}

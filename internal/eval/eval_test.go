@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/moe"
+	"repro/internal/tensor"
+)
+
+func testModel(t *testing.T) *moe.Model {
+	t.Helper()
+	cfg := moe.Uniform("eval-test", 64, 12, 16, 2, 4, 2, 64)
+	return moe.MustNew(cfg, tensor.Named("eval"))
+}
+
+func TestEvaluateBounds(t *testing.T) {
+	m := testModel(t)
+	g := tensor.NewRNG(1)
+	for _, p := range data.Profiles() {
+		ds := data.Generate(p, 64, 12, g)
+		score := Evaluate(m, p, ds.Samples)
+		if score < 0 || score > 1 {
+			t.Fatalf("%s: score %v out of [0,1]", p.Name, score)
+		}
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := testModel(t)
+	if Evaluate(m, data.Dolly(), nil) != 0 {
+		t.Fatal("empty test set should score 0")
+	}
+}
+
+func TestTrainingImprovesScore(t *testing.T) {
+	// Fine-tuning on the dataset must raise the evaluation score: this is
+	// the end-to-end sanity check that the data generator, model, and
+	// metric form a learnable pipeline.
+	cfg := moe.Uniform("learn", 64, 12, 16, 2, 4, 2, 64)
+	m := moe.MustNew(cfg, tensor.Named("learnable"))
+	g := tensor.NewRNG(2)
+	p := data.GSM8K()
+	ds := data.Generate(p, 64, 120, g)
+	train, test := ds.Split(0.8, g)
+
+	before := Evaluate(m, p, test)
+	grads := moe.NewGrads(m, true)
+	for epoch := 0; epoch < 8; epoch++ {
+		for _, s := range train {
+			seq, mask := s.FullSequence()
+			m.ForwardBackward(seq, mask, grads, nil, -1)
+		}
+		m.ApplySGD(grads, 1.0/float64(len(train)))
+	}
+	after := Evaluate(m, p, test)
+	if after <= before {
+		t.Fatalf("training did not improve score: %v -> %v", before, after)
+	}
+}
+
+func TestEvaluateSubset(t *testing.T) {
+	m := testModel(t)
+	g := tensor.NewRNG(3)
+	p := data.PIQA()
+	ds := data.Generate(p, 64, 40, g)
+	full := Evaluate(m, p, ds.Samples)
+	sub := EvaluateSubset(m, p, ds.Samples, 10)
+	if sub < 0 || sub > 1 {
+		t.Fatalf("subset score %v", sub)
+	}
+	// Subset with n >= len falls back to full.
+	if got := EvaluateSubset(m, p, ds.Samples, 1000); got != full {
+		t.Fatalf("subset fallback mismatch: %v vs %v", got, full)
+	}
+}
+
+func TestScoreSampleMC(t *testing.T) {
+	m := testModel(t)
+	g := tensor.NewRNG(4)
+	p := data.MMLU()
+	ds := data.Generate(p, 64, 10, g)
+	for _, s := range ds.Samples {
+		v := ScoreSample(m, p, s)
+		if v != 0 && v != 1 {
+			t.Fatalf("MC score %v must be 0/1", v)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{"table1", "table2", "figure1", "figure2", "figure3",
+		"figure5", "figure6", "figure8", "figure9", "figure10", "figure11",
+		"figure12", "figure13", "figure14", "figure15", "figure16",
+		"figure17", "figure18", "figure19", "figure20"}
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	order := Order()
+	if order[0] != "table1" || order[len(order)-1] != "figure20" {
+		t.Fatalf("order wrong: %v", order)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("figure99", Options{Quick: true}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	tab, err := Run("table1", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "LLaMA-MoE" || tab.Rows[0][1] != "32/16" {
+		t.Fatalf("row 0 = %v", tab.Rows[0])
+	}
+}
+
+func TestFigure1Monotone(t *testing.T) {
+	tab := Figure1(Options{Quick: true})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	prev := -1.0
+	for _, row := range tab.Rows {
+		total, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total <= prev {
+			t.Fatalf("cost must grow with experts: %v", tab.Rows)
+		}
+		prev = total
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{Title: "t", Header: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== t ==", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure16FusedFaster(t *testing.T) {
+	tab := Figure16(Options{Quick: true})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		speedup, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if speedup <= 1 {
+			t.Fatalf("fused clustering should be faster: %v", row)
+		}
+	}
+}

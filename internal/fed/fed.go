@@ -1,0 +1,290 @@
+// Package fed implements the synchronous-round federated learning engine the
+// paper builds on: a parameter server holding the global MoE model, a fleet
+// of heterogeneous participants with non-IID data shards, FedAvg aggregation
+// over expert parameters, and a simulated clock that prices every phase of a
+// round.
+//
+// Method implementations (Flux and the FMD/FMQ/FMES baselines) plug in as
+// Rounders: the engine owns data, devices, evaluation, and time accounting;
+// a Rounder owns what happens inside one round.
+package fed
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/metrics"
+	"repro/internal/moe"
+	"repro/internal/simtime"
+	"repro/internal/tensor"
+)
+
+// Config controls a federated fine-tuning run.
+type Config struct {
+	Participants  int
+	Batch         int // samples per participant per round
+	LocalIters    int // local passes over the batch per round
+	LR            float64
+	Alpha         float64 // Dirichlet non-IID concentration
+	DatasetSize   int
+	EvalSubset    int // test samples per evaluation
+	MaxRounds     int
+	PretrainSteps int
+	PretrainBatch int
+	PretrainLR    float64
+
+	// ServerBw is the parameter server's ingest/egress bandwidth in bytes/s,
+	// shared across participants; aggregation time grows with the fleet,
+	// producing the diminishing scalability returns of Figures 12–13.
+	ServerBw float64
+}
+
+// DefaultConfig returns the settings used by the paper-shaped experiments:
+// 10 participants, mini-batch fine-tuning with FedAvg, 1 local iteration
+// (§8.1), and a brief pre-training phase so expert routing is non-uniform.
+func DefaultConfig() Config {
+	return Config{
+		Participants:  10,
+		Batch:         6,
+		LocalIters:    2,
+		LR:            2.0,
+		Alpha:         0.3,
+		DatasetSize:   300,
+		EvalSubset:    16,
+		MaxRounds:     30,
+		PretrainSteps: 700,
+		PretrainBatch: 8,
+		PretrainLR:    2.0,
+		ServerBw:      2e4,
+	}
+}
+
+// Validate reports the first invalid setting, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Participants <= 0:
+		return fmt.Errorf("fed: participants %d must be positive", c.Participants)
+	case c.Batch <= 0 || c.LocalIters <= 0:
+		return fmt.Errorf("fed: batch %d / iters %d must be positive", c.Batch, c.LocalIters)
+	case c.LR <= 0:
+		return fmt.Errorf("fed: learning rate %v must be positive", c.LR)
+	case c.DatasetSize < c.Participants:
+		return fmt.Errorf("fed: dataset size %d below participant count", c.DatasetSize)
+	case c.MaxRounds <= 0:
+		return fmt.Errorf("fed: max rounds %d must be positive", c.MaxRounds)
+	case c.ServerBw <= 0:
+		return fmt.Errorf("fed: server bandwidth %v must be positive", c.ServerBw)
+	}
+	return nil
+}
+
+// Env is a fully materialized federated experiment: pre-trained global
+// model, per-participant shards and devices, and a held-out test set.
+type Env struct {
+	Cfg     Config
+	Profile data.Profile
+	Global  *moe.Model
+	Shards  [][]*data.Sample
+	Test    []*data.Sample
+	Devices []simtime.Device
+	RNG     *tensor.RNG
+}
+
+// NewEnv builds an environment: generates the synthetic dataset, pre-trains
+// the global model on the training mixture, partitions training data
+// non-IID, and assigns devices round-robin over the consumer tiers.
+//
+// seed names the experiment; everything downstream is deterministic in it.
+func NewEnv(modelCfg moe.Config, profile data.Profile, cfg Config, seed string) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := modelCfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := tensor.Named(seed)
+	ds := data.Generate(profile, modelCfg.VocabSize, cfg.DatasetSize, root.Split("data"))
+	train, test := ds.Split(0.8, root.Split("split"))
+
+	model, err := BaseModel(modelCfg, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	shards := data.PartitionNonIID(train, cfg.Participants, cfg.Alpha, root.Split("partition"))
+	devices := make([]simtime.Device, cfg.Participants)
+	tiers := simtime.ConsumerTiers()
+	for i := range devices {
+		devices[i] = simtime.TierFor(tiers, i)
+	}
+	return &Env{
+		Cfg:     cfg,
+		Profile: profile,
+		Global:  model,
+		Shards:  shards,
+		Test:    test,
+		Devices: devices,
+		RNG:     root.Split("run"),
+	}, nil
+}
+
+// CloneForMethod duplicates the environment with an independent copy of the
+// global model and a method-specific RNG stream, so several methods start
+// from an identical state.
+func (e *Env) CloneForMethod(method string) *Env {
+	c := *e
+	c.Global = e.Global.Clone()
+	c.RNG = tensor.Named("method/" + method).Split(e.Profile.Name)
+	return &c
+}
+
+// TotalExperts returns the number of experts in the global model.
+func (e *Env) TotalExperts() int {
+	var n int
+	for _, k := range e.Global.Cfg.ExpertsPerLayer {
+		n += k
+	}
+	return n
+}
+
+// Budgets returns participant i's expert-capacity and tuning budgets
+// (B_i and B_tune_i of §3), derived from its device profile. Both are at
+// least one per constraint sanity.
+func (e *Env) Budgets(i int) (capacity, tune int) {
+	total := e.TotalExperts()
+	capacity = int(e.Devices[i].CapacityFrac * float64(total))
+	tune = int(e.Devices[i].TuneFrac * float64(total))
+	if capacity < e.Global.Cfg.Layers() {
+		capacity = e.Global.Cfg.Layers() // at least one expert per layer
+	}
+	if tune < 1 {
+		tune = 1
+	}
+	if tune > capacity {
+		tune = capacity
+	}
+	return capacity, tune
+}
+
+// Batch returns participant i's training mini-batch for round r: a
+// deterministic rotation through its shard.
+func (e *Env) Batch(i, r int) []*data.Sample {
+	shard := e.Shards[i]
+	n := e.Cfg.Batch
+	if n > len(shard) {
+		n = len(shard)
+	}
+	out := make([]*data.Sample, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, shard[(r*n+k)%len(shard)])
+	}
+	return out
+}
+
+// Evaluate scores the global model on the held-out test subset.
+func (e *Env) Evaluate() float64 {
+	return eval.EvaluateSubset(e.Global, e.Profile, e.Test, e.Cfg.EvalSubset)
+}
+
+// ExpertKey identifies an expert by layer and original index.
+type ExpertKey struct {
+	Layer, Expert int
+}
+
+// Update is one participant's contribution to a round: the flattened
+// parameters of each expert it fine-tuned, plus an aggregation weight
+// (its sample count, per FedAvg).
+type Update struct {
+	Participant int
+	Weight      float64
+	Experts     map[ExpertKey][]float64
+}
+
+// ExtractUpdate collects the current parameters of the given tuning experts
+// from a participant's local model.
+func ExtractUpdate(local *moe.Model, participant int, weight float64, tuning [][]int) Update {
+	u := Update{Participant: participant, Weight: weight, Experts: make(map[ExpertKey][]float64)}
+	for l, ids := range tuning {
+		for _, orig := range ids {
+			e := local.ExpertAt(l, orig)
+			u.Experts[ExpertKey{Layer: l, Expert: orig}] = e.FlattenTo(nil)
+		}
+	}
+	return u
+}
+
+// Aggregate applies FedAvg to the global model: for every expert touched by
+// at least one update, the new global parameters are the weight-averaged
+// participant parameters. Untouched experts are left as they are. It returns
+// the number of distinct experts updated.
+func Aggregate(global *moe.Model, updates []Update) int {
+	type acc struct {
+		sum    []float64
+		weight float64
+	}
+	accs := make(map[ExpertKey]*acc)
+	for _, u := range updates {
+		w := u.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for key, params := range u.Experts {
+			a := accs[key]
+			if a == nil {
+				a = &acc{sum: make([]float64, len(params))}
+				accs[key] = a
+			}
+			for i, v := range params {
+				a.sum[i] += w * v
+			}
+			a.weight += w
+		}
+	}
+	for key, a := range accs {
+		inv := 1 / a.weight
+		for i := range a.sum {
+			a.sum[i] *= inv
+		}
+		global.ExpertAt(key.Layer, key.Expert).LoadFlat(a.sum)
+	}
+	return len(accs)
+}
+
+// UpdateBytes returns the wire size of an update at FP32.
+func UpdateBytes(u Update) float64 {
+	var params int
+	for _, p := range u.Experts {
+		params += len(p)
+	}
+	return float64(params) * 4
+}
+
+// Rounder is a federated fine-tuning method: it executes one synchronous
+// round, mutating env.Global, and reports the simulated duration of the
+// round broken down by phase.
+type Rounder interface {
+	Name() string
+	Round(env *Env, r int) map[simtime.Phase]float64
+}
+
+// Run drives a Rounder until the evaluation score reaches target or
+// MaxRounds elapse, recording a convergence curve against simulated time.
+// It returns the tracker and the final clock.
+func Run(env *Env, m Rounder, target float64) (*metrics.Tracker, *simtime.Clock) {
+	clock := simtime.NewClock()
+	tr := &metrics.Tracker{Target: env.Profile.MetricName}
+	tr.Record(0, clock.Hours(), env.Evaluate())
+	for r := 0; r < env.Cfg.MaxRounds; r++ {
+		phases := m.Round(env, r)
+		for p, sec := range phases {
+			clock.Advance(p, sec)
+		}
+		score := env.Evaluate()
+		tr.Record(r+1, clock.Hours(), score)
+		if target > 0 && score >= target {
+			break
+		}
+	}
+	return tr, clock
+}

@@ -1,0 +1,215 @@
+package fed
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/moe"
+)
+
+// This file implements a real network deployment of the federated loop: a
+// parameter server and participants exchanging gob-encoded messages over
+// TCP. It exists so the system can actually be run as separate processes
+// (cmd/fluxserver, cmd/fluxclient, examples/federated_tcp), not only as the
+// in-process simulation the experiments use. The protocol is synchronous
+// rounds, mirroring Figure 4: server broadcasts the global model, each
+// participant fine-tunes its tuning experts locally and uploads them, the
+// server FedAvg-aggregates.
+
+// Hello is the first message a participant sends after connecting.
+type Hello struct {
+	Participant int
+}
+
+// RoundMsg is the server's per-round broadcast.
+type RoundMsg struct {
+	Round int
+	Final bool   // no more rounds; Model holds the final global model
+	Model []byte // gob-encoded moe.Model
+}
+
+// UpdateMsg is a participant's reply: the experts it fine-tuned.
+type UpdateMsg struct {
+	Participant int
+	Weight      float64
+	Experts     map[ExpertKey][]float64
+}
+
+// Server coordinates federated fine-tuning over TCP.
+type Server struct {
+	Global  *moe.Model
+	Rounds  int
+	Clients int // participants expected before training starts
+}
+
+// Serve accepts s.Clients participants on ln, runs s.Rounds synchronous
+// rounds, and leaves the aggregated result in s.Global. It returns after
+// broadcasting the final model.
+func (s *Server) Serve(ln net.Listener) error {
+	type peer struct {
+		conn net.Conn
+		enc  *gob.Encoder
+		dec  *gob.Decoder
+		id   int
+	}
+	peers := make([]*peer, 0, s.Clients)
+	for len(peers) < s.Clients {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("fed: accept: %w", err)
+		}
+		p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		var h Hello
+		if err := p.dec.Decode(&h); err != nil {
+			conn.Close()
+			return fmt.Errorf("fed: hello: %w", err)
+		}
+		p.id = h.Participant
+		peers = append(peers, p)
+	}
+	defer func() {
+		for _, p := range peers {
+			p.conn.Close()
+		}
+	}()
+
+	for r := 0; r < s.Rounds; r++ {
+		blob, err := s.Global.EncodeBytes()
+		if err != nil {
+			return err
+		}
+		msg := RoundMsg{Round: r, Model: blob}
+		for _, p := range peers {
+			if err := p.enc.Encode(msg); err != nil {
+				return fmt.Errorf("fed: send round %d to %d: %w", r, p.id, err)
+			}
+		}
+		// Collect updates concurrently; all must arrive (synchronous rounds).
+		updates := make([]Update, len(peers))
+		var wg sync.WaitGroup
+		errs := make([]error, len(peers))
+		for i, p := range peers {
+			wg.Add(1)
+			go func(i int, p *peer) {
+				defer wg.Done()
+				var u UpdateMsg
+				if err := p.dec.Decode(&u); err != nil {
+					errs[i] = fmt.Errorf("fed: update from %d: %w", p.id, err)
+					return
+				}
+				updates[i] = Update{Participant: u.Participant, Weight: u.Weight, Experts: u.Experts}
+			}(i, p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		Aggregate(s.Global, updates)
+	}
+
+	blob, err := s.Global.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	final := RoundMsg{Round: s.Rounds, Final: true, Model: blob}
+	for _, p := range peers {
+		if err := p.enc.Encode(final); err != nil {
+			return fmt.Errorf("fed: final to %d: %w", p.id, err)
+		}
+	}
+	return nil
+}
+
+// ClientConfig configures a TCP participant.
+type ClientConfig struct {
+	Participant int
+	Addr        string
+	Shard       []*data.Sample
+	Batch       int
+	LocalIters  int
+	LR          float64
+	// TuneExperts limits fine-tuning to the given per-layer expert ids;
+	// nil fine-tunes every expert.
+	TuneExperts [][]int
+}
+
+// RunClient joins the server at cfg.Addr and participates until the final
+// model arrives, which it returns.
+func RunClient(cfg ClientConfig) (*moe.Model, error) {
+	if len(cfg.Shard) == 0 {
+		return nil, fmt.Errorf("fed: client %d has no data", cfg.Participant)
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(Hello{Participant: cfg.Participant}); err != nil {
+		return nil, err
+	}
+	for {
+		var msg RoundMsg
+		if err := dec.Decode(&msg); err != nil {
+			return nil, fmt.Errorf("fed: client %d recv: %w", cfg.Participant, err)
+		}
+		model, err := moe.DecodeBytes(msg.Model)
+		if err != nil {
+			return nil, err
+		}
+		if msg.Final {
+			return model, nil
+		}
+		tuning := cfg.TuneExperts
+		if tuning == nil {
+			tuning = identityTuningFor(model.Cfg)
+		}
+		localTrain(model, cfg, msg.Round)
+		u := ExtractUpdate(model, cfg.Participant, float64(len(cfg.Shard)), tuning)
+		if err := enc.Encode(UpdateMsg{Participant: u.Participant, Weight: u.Weight, Experts: u.Experts}); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func identityTuningFor(cfg moe.Config) [][]int {
+	out := make([][]int, cfg.Layers())
+	for l, n := range cfg.ExpertsPerLayer {
+		ids := make([]int, n)
+		for e := range ids {
+			ids[e] = e
+		}
+		out[l] = ids
+	}
+	return out
+}
+
+func localTrain(model *moe.Model, cfg ClientConfig, round int) {
+	batch := cfg.Batch
+	if batch <= 0 || batch > len(cfg.Shard) {
+		batch = len(cfg.Shard)
+	}
+	iters := cfg.LocalIters
+	if iters <= 0 {
+		iters = 1
+	}
+	lr := cfg.LR
+	if lr <= 0 {
+		lr = 1.0
+	}
+	grads := moe.NewGrads(model, false)
+	for it := 0; it < iters; it++ {
+		for k := 0; k < batch; k++ {
+			s := cfg.Shard[(round*batch+k)%len(cfg.Shard)]
+			seq, mask := s.FullSequence()
+			model.ForwardBackward(seq, mask, grads, nil, -1)
+		}
+		model.ApplySGD(grads, lr/float64(batch))
+	}
+}

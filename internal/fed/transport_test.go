@@ -1,0 +1,124 @@
+package fed
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/moe"
+	"repro/internal/tensor"
+)
+
+func TestTCPFederatedRound(t *testing.T) {
+	modelCfg := moe.Uniform("tcp-test", 48, 12, 16, 2, 4, 2, 64)
+	global := moe.MustNew(modelCfg, tensor.Named("tcp"))
+	ds := data.Generate(data.GSM8K(), 48, 40, tensor.NewRNG(1))
+	shards := data.PartitionNonIID(ds.Samples, 3, 1.0, tensor.NewRNG(2))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	snapshot := global.Clone()
+	srv := &Server{Global: global, Rounds: 2, Clients: 3}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	var wg sync.WaitGroup
+	finals := make([]*moe.Model, 3)
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			finals[i], errs[i] = RunClient(ClientConfig{
+				Participant: i,
+				Addr:        ln.Addr().String(),
+				Shard:       shards[i],
+				Batch:       3,
+				LocalIters:  1,
+				LR:          0.5,
+			})
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if finals[i] == nil {
+			t.Fatalf("client %d got no final model", i)
+		}
+	}
+
+	// The server's global model must have moved, and every client must hold
+	// the identical final model.
+	moved := false
+	for l := range global.Layers {
+		for e := range global.Layers[l].Experts {
+			if !global.Layers[l].Experts[e].W1.Equal(snapshot.Layers[l].Experts[e].W1, 0) {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("training over TCP did not change the model")
+	}
+	g := tensor.NewRNG(3)
+	seq := make([]int, 10)
+	for i := range seq {
+		seq[i] = g.Intn(48)
+	}
+	ref := global.Forward(seq, nil, -1)
+	for i, m := range finals {
+		if !m.Forward(seq, nil, -1).Equal(ref, 1e-9) {
+			t.Fatalf("client %d final model differs from server's", i)
+		}
+	}
+}
+
+func TestRunClientNoData(t *testing.T) {
+	if _, err := RunClient(ClientConfig{Participant: 0, Addr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("expected error for empty shard")
+	}
+}
+
+func TestTCPTuningSubset(t *testing.T) {
+	modelCfg := moe.Uniform("tcp-sub", 48, 12, 16, 2, 4, 2, 64)
+	global := moe.MustNew(modelCfg, tensor.Named("tcp-sub"))
+	frozen := global.Layers[0].Experts[3].W1.Clone()
+	ds := data.Generate(data.GSM8K(), 48, 20, tensor.NewRNG(4))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := &Server{Global: global, Rounds: 1, Clients: 1}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	_, err = RunClient(ClientConfig{
+		Participant: 0,
+		Addr:        ln.Addr().String(),
+		Shard:       ds.Samples,
+		Batch:       4,
+		LR:          0.5,
+		TuneExperts: [][]int{{0, 1}, {0, 1}}, // expert 3 never uploaded
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+	if !global.Layers[0].Experts[3].W1.Equal(frozen, 0) {
+		t.Fatal("expert outside the tuning subset was aggregated")
+	}
+}

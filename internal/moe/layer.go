@@ -1,0 +1,285 @@
+package moe
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Layer is one transformer block: pre-norm single-head self-attention with a
+// residual connection, followed by a pre-norm MoE feed-forward block with a
+// residual connection.
+//
+// Routing indirection: the gate always produces one logit per *original*
+// expert index (OrigExperts wide). Routing maps an original index to the
+// position of the expert that now serves it in Experts. Before any merging
+// the map is the identity; after merging several original indices point at
+// the same merged expert. This implements the paper's "gate re-routing"
+// without retraining the gate.
+type Layer struct {
+	Wq, Wk, Wv *tensor.Matrix // Dim × Dim attention projections (frozen)
+	Gate       *tensor.Matrix // Dim × OrigExperts router logits (frozen after pre-training)
+
+	OrigExperts int
+	Routing     []int // original expert index -> index into Experts
+	Experts     []*Expert
+
+	TopK int
+}
+
+// NewLayer builds a layer with experts freshly initialized from g.
+func NewLayer(dim, ffn, experts, topK int, g *tensor.RNG) *Layer {
+	l := &Layer{
+		Wq:          tensor.NewMatrix(dim, dim),
+		Wk:          tensor.NewMatrix(dim, dim),
+		Wv:          tensor.NewMatrix(dim, dim),
+		Gate:        tensor.NewMatrix(dim, experts),
+		OrigExperts: experts,
+		Routing:     make([]int, experts),
+		Experts:     make([]*Expert, experts),
+		TopK:        topK,
+	}
+	l.Wq.XavierInit(g)
+	l.Wk.XavierInit(g)
+	l.Wv.XavierInit(g)
+	l.Gate.RandInit(g, 1.0/math.Sqrt(float64(dim)))
+	for e := range l.Experts {
+		l.Experts[e] = NewExpert(dim, ffn, g.Split("expert"))
+		l.Routing[e] = e
+	}
+	return l
+}
+
+// Clone returns a deep copy of the layer.
+func (l *Layer) Clone() *Layer {
+	c := &Layer{
+		Wq:          l.Wq.Clone(),
+		Wk:          l.Wk.Clone(),
+		Wv:          l.Wv.Clone(),
+		Gate:        l.Gate.Clone(),
+		OrigExperts: l.OrigExperts,
+		Routing:     append([]int(nil), l.Routing...),
+		Experts:     make([]*Expert, len(l.Experts)),
+		TopK:        l.TopK,
+	}
+	for i, e := range l.Experts {
+		c.Experts[i] = e.Clone()
+	}
+	return c
+}
+
+// layerCache holds the forward activations needed by backward for one
+// sequence through one layer.
+type layerCache struct {
+	xIn   *tensor.Matrix // layer input (T × D)
+	xNorm *tensor.Matrix // LN(xIn)
+	attnP *tensor.Matrix // attention probabilities (T × T), treated constant in backward
+	x1    *tensor.Matrix // after attention residual
+	xMid  *tensor.Matrix // LN(x1), MoE input
+	// Per token routing decisions and per-slot expert state.
+	routedExperts [][]int       // [t][slot] expert index (into Experts)
+	routedWeights [][]float64   // [t][slot] normalized gate weight
+	hidden        [][][]float64 // [t][slot] expert hidden activations
+	invStd1       []float64     // LN statistics for backward approximation
+	invStd2       []float64
+}
+
+// routeToken computes the top-k routing for gate logits over original expert
+// indices, collapsing duplicates introduced by Routing and renormalizing the
+// retained gate probabilities. It returns parallel slices of expert indices
+// (into Experts) and weights, plus the winning original indices for stats.
+func (l *Layer) routeToken(probs []float64) (experts []int, weights []float64, orig []int) {
+	top := tensor.TopK(probs, l.TopK)
+	var sum float64
+	for _, o := range top {
+		sum += probs[o]
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	seen := make(map[int]int, len(top))
+	for _, o := range top {
+		ei := l.Routing[o]
+		if pos, ok := seen[ei]; ok {
+			weights[pos] += probs[o] / sum
+		} else {
+			seen[ei] = len(experts)
+			experts = append(experts, ei)
+			weights = append(weights, probs[o]/sum)
+		}
+		orig = append(orig, o)
+	}
+	return experts, weights, orig
+}
+
+// Forward runs the layer on x (T × D), returning the output and a cache for
+// backward. If stats is non-nil, routing decisions and attention scores are
+// recorded under sampleID.
+func (l *Layer) Forward(layerIdx int, x *tensor.Matrix, stats *ActivationStats, sampleID int) (*tensor.Matrix, *layerCache) {
+	T, D := x.Rows, x.Cols
+	c := &layerCache{xIn: x}
+
+	// Pre-norm for attention.
+	c.xNorm = tensor.NewMatrix(T, D)
+	c.invStd1 = make([]float64, T)
+	for t := 0; t < T; t++ {
+		c.invStd1[t] = layerNormRow(c.xNorm.Row(t), x.Row(t))
+	}
+
+	// Single-head causal attention.
+	q := tensor.MatMul(c.xNorm, l.Wq)
+	k := tensor.MatMul(c.xNorm, l.Wk)
+	v := tensor.MatMul(c.xNorm, l.Wv)
+	scale := 1 / math.Sqrt(float64(D))
+	c.attnP = tensor.NewMatrix(T, T)
+	for t := 0; t < T; t++ {
+		row := c.attnP.Row(t)
+		qrow := q.Row(t)
+		for u := 0; u <= t; u++ {
+			row[u] = tensor.Dot(qrow, k.Row(u)) * scale
+		}
+		for u := t + 1; u < T; u++ {
+			row[u] = math.Inf(-1)
+		}
+		tensor.SoftmaxInPlace(row)
+	}
+	attnOut := tensor.MatMul(c.attnP, v)
+	c.x1 = x.Clone()
+	c.x1.Add(attnOut)
+
+	// Per-token attention "received" score: how much total attention mass
+	// other tokens place on this token. This is the ā_e signal of §5.3.
+	attnRecv := make([]float64, T)
+	for t := 0; t < T; t++ {
+		row := c.attnP.Row(t)
+		for u := 0; u <= t; u++ {
+			attnRecv[u] += row[u]
+		}
+	}
+
+	// Pre-norm for MoE.
+	c.xMid = tensor.NewMatrix(T, D)
+	c.invStd2 = make([]float64, T)
+	for t := 0; t < T; t++ {
+		c.invStd2[t] = layerNormRow(c.xMid.Row(t), c.x1.Row(t))
+	}
+
+	// MoE block.
+	out := c.x1.Clone()
+	c.routedExperts = make([][]int, T)
+	c.routedWeights = make([][]float64, T)
+	c.hidden = make([][][]float64, T)
+	probs := make([]float64, l.OrigExperts)
+	eOut := make([]float64, D)
+	for t := 0; t < T; t++ {
+		xt := c.xMid.Row(t)
+		logits := make([]float64, l.OrigExperts)
+		for o := 0; o < l.OrigExperts; o++ {
+			var s float64
+			for i, xv := range xt {
+				s += xv * l.Gate.At(i, o)
+			}
+			logits[o] = s
+		}
+		tensor.Softmax(probs, logits)
+		experts, weights, orig := l.routeToken(probs)
+		c.routedExperts[t] = experts
+		c.routedWeights[t] = weights
+		c.hidden[t] = make([][]float64, len(experts))
+		orow := out.Row(t)
+		for s, ei := range experts {
+			h := make([]float64, l.Experts[ei].W1.Cols)
+			l.Experts[ei].Forward(xt, h, eOut)
+			c.hidden[t][s] = h
+			w := weights[s]
+			for d := 0; d < D; d++ {
+				orow[d] += w * eOut[d]
+			}
+		}
+		if stats != nil {
+			stats.recordToken(layerIdx, orig, attnRecv[t], sampleID)
+		}
+	}
+	return out, c
+}
+
+// Backward propagates dOut (gradient of the loss w.r.t. the layer output)
+// through the layer, accumulating expert parameter gradients into grads
+// (which may be nil to propagate only) and returning the gradient w.r.t. the
+// layer input. tokenMask, when non-nil, marks tokens whose routing gradient
+// magnitudes should be recorded for utility estimation.
+func (l *Layer) Backward(layerIdx int, c *layerCache, dOut *tensor.Matrix, grads *Grads) *tensor.Matrix {
+	T, D := dOut.Rows, dOut.Cols
+
+	// MoE block backward. out = x1 + Σ w_e · Expert_e(xMid).
+	dX1 := dOut.Clone() // residual path
+	dXMid := tensor.NewMatrix(T, D)
+	dyTok := make([]float64, D)
+	for t := 0; t < T; t++ {
+		dorow := dOut.Row(t)
+		xt := c.xMid.Row(t)
+		for s, ei := range c.routedExperts[t] {
+			w := c.routedWeights[t][s]
+			for d := 0; d < D; d++ {
+				dyTok[d] = w * dorow[d]
+			}
+			ex := l.Experts[ei]
+			if grads != nil {
+				grads.recordTokenGrad(layerIdx, ei, dyTok)
+				ex.Backward(grads.expertGrad(layerIdx, ei, ex), xt, c.hidden[t][s], dyTok, dXMid.Row(t))
+			} else {
+				// Propagate dx without accumulating parameter grads.
+				scratch := NewExpertGrad(ex)
+				ex.Backward(scratch, xt, c.hidden[t][s], dyTok, dXMid.Row(t))
+			}
+		}
+	}
+	// LN2 backward (exact).
+	for t := 0; t < T; t++ {
+		layerNormBackward(dX1.Row(t), dXMid.Row(t), c.xMid.Row(t), c.invStd2[t])
+	}
+
+	// Attention backward with frozen probabilities:
+	// x1 = xIn + P · (xNorm·Wv)  ⇒  dxNorm = Pᵀ·dX1·Wvᵀ; dxIn = dX1 (+ LN1 path).
+	dV := tensor.MatMulTransA(c.attnP, dX1) // (T×T)ᵀ × (T×D)
+	dXNorm := tensor.MatMulTransB(dV, l.Wv)
+	dXIn := dX1.Clone()
+	for t := 0; t < T; t++ {
+		layerNormBackward(dXIn.Row(t), dXNorm.Row(t), c.xNorm.Row(t), c.invStd1[t])
+	}
+	return dXIn
+}
+
+// layerNormBackward accumulates into dx the exact gradient of LayerNorm
+// given the upstream gradient dy, the normalized output xhat, and 1/std:
+// dx += inv · (dy − mean(dy) − xhat·mean(dy∘xhat)).
+func layerNormBackward(dx, dy, xhat []float64, inv float64) {
+	n := float64(len(dy))
+	var sumDy, sumDyXhat float64
+	for i, d := range dy {
+		sumDy += d
+		sumDyXhat += d * xhat[i]
+	}
+	mDy, mDyXhat := sumDy/n, sumDyXhat/n
+	for i, d := range dy {
+		dx[i] += inv * (d - mDy - xhat[i]*mDyXhat)
+	}
+}
+
+// layerNormRow writes LayerNorm(src) into dst and returns 1/std for the
+// frozen-statistics backward approximation.
+func layerNormRow(dst, src []float64) float64 {
+	const eps = 1e-5
+	m := tensor.Mean(src)
+	var va float64
+	for _, x := range src {
+		d := x - m
+		va += d * d
+	}
+	va /= float64(len(src))
+	inv := 1 / math.Sqrt(va+eps)
+	for i, x := range src {
+		dst[i] = (x - m) * inv
+	}
+	return inv
+}

@@ -1,0 +1,98 @@
+package moe
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// LoRA support (§7 of the paper: "Flux supports the integration of
+// additional fine-tuning optimization techniques, such as Adapter and
+// LoRA"). A LoRAAdapter attaches a low-rank update ΔW = A·B to an expert's
+// W1, so fine-tuning trains rank·(Dim+FFNDim) parameters instead of
+// Dim·FFNDim. Adapters are additive and removable: Apply folds the update
+// into the expert, Remove subtracts it back out exactly.
+type LoRAAdapter struct {
+	A    *tensor.Matrix // Dim × Rank
+	B    *tensor.Matrix // Rank × FFNDim
+	Rank int
+	// Scale is the LoRA alpha/rank scaling applied when folding.
+	Scale float64
+
+	applied bool
+}
+
+// NewLoRA creates an adapter for an expert with the given rank. A is
+// Gaussian-initialized and B starts at zero, so the initial ΔW is zero (the
+// standard LoRA initialization).
+func NewLoRA(e *Expert, rank int, scale float64, g *tensor.RNG) (*LoRAAdapter, error) {
+	dim, ffn := e.W1.Rows, e.W1.Cols
+	if rank <= 0 || rank > dim || rank > ffn {
+		return nil, fmt.Errorf("moe: lora rank %d invalid for %dx%d expert", rank, dim, ffn)
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	a := tensor.NewMatrix(dim, rank)
+	a.RandInit(g, 0.02)
+	return &LoRAAdapter{A: a, B: tensor.NewMatrix(rank, ffn), Rank: rank, Scale: scale}, nil
+}
+
+// Delta returns the current low-rank update Scale·A·B.
+func (l *LoRAAdapter) Delta() *tensor.Matrix {
+	d := tensor.MatMul(l.A, l.B)
+	d.Scale(l.Scale)
+	return d
+}
+
+// Apply folds the adapter into the expert's W1. Applying twice is an error.
+func (l *LoRAAdapter) Apply(e *Expert) error {
+	if l.applied {
+		return fmt.Errorf("moe: lora adapter already applied")
+	}
+	if e.W1.Rows != l.A.Rows || e.W1.Cols != l.B.Cols {
+		return fmt.Errorf("moe: lora shape mismatch")
+	}
+	e.W1.Add(l.Delta())
+	l.applied = true
+	return nil
+}
+
+// Remove subtracts the adapter from the expert's W1, restoring it exactly
+// (up to floating-point addition order).
+func (l *LoRAAdapter) Remove(e *Expert) error {
+	if !l.applied {
+		return fmt.Errorf("moe: lora adapter not applied")
+	}
+	e.W1.Sub(l.Delta())
+	l.applied = false
+	return nil
+}
+
+// Params returns the adapter's trainable parameter count.
+func (l *LoRAAdapter) Params() int {
+	return l.A.Rows*l.A.Cols + l.B.Rows*l.B.Cols
+}
+
+// TrainStep performs one projected-gradient LoRA update: given the full W1
+// gradient gW1 for the adapted expert, it updates A and B by the chain rule
+// (dA = gW1·Bᵀ·Scale, dB = Aᵀ·gW1·Scale) with learning rate lr. The expert
+// must currently have the adapter applied; its folded weights are kept in
+// sync incrementally.
+func (l *LoRAAdapter) TrainStep(e *Expert, gW1 *tensor.Matrix, lr float64) error {
+	if !l.applied {
+		return fmt.Errorf("moe: lora adapter not applied")
+	}
+	if gW1.Rows != l.A.Rows || gW1.Cols != l.B.Cols {
+		return fmt.Errorf("moe: lora gradient shape mismatch")
+	}
+	before := l.Delta()
+	dA := tensor.MatMulTransB(gW1, l.B) // (Dim×FFN)·(Rank×FFN)ᵀ = Dim×Rank
+	dB := tensor.MatMulTransA(l.A, gW1) // (Dim×Rank)ᵀ·(Dim×FFN) = Rank×FFN
+	l.A.AddScaled(dA, -lr*l.Scale)
+	l.B.AddScaled(dB, -lr*l.Scale)
+	after := l.Delta()
+	after.Sub(before)
+	e.W1.Add(after) // re-sync folded weights with the new ΔW
+	return nil
+}

@@ -1,0 +1,286 @@
+package moe
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Model is a complete MoE transformer language model.
+type Model struct {
+	Cfg    Config
+	Embed  *tensor.Matrix // VocabSize × Dim
+	Head   *tensor.Matrix // Dim × VocabSize
+	Layers []*Layer
+}
+
+// New builds a model with weights initialized from g.
+func New(cfg Config, g *tensor.RNG) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Cfg:    cfg,
+		Embed:  tensor.NewMatrix(cfg.VocabSize, cfg.Dim),
+		Head:   tensor.NewMatrix(cfg.Dim, cfg.VocabSize),
+		Layers: make([]*Layer, cfg.Layers()),
+	}
+	m.Embed.RandInit(g, 0.5)
+	m.Head.XavierInit(g)
+	for l := range m.Layers {
+		m.Layers[l] = NewLayer(cfg.Dim, cfg.FFNDim, cfg.ExpertsPerLayer[l], cfg.TopK, g.Split(fmt.Sprintf("layer%d", l)))
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on config error; for tests and fixed configs.
+func MustNew(cfg Config, g *tensor.RNG) *Model {
+	m, err := New(cfg, g)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Cfg:    m.Cfg,
+		Embed:  m.Embed.Clone(),
+		Head:   m.Head.Clone(),
+		Layers: make([]*Layer, len(m.Layers)),
+	}
+	// Deep-copy ExpertsPerLayer so merged clones can change it independently.
+	c.Cfg.ExpertsPerLayer = append([]int(nil), m.Cfg.ExpertsPerLayer...)
+	for l, layer := range m.Layers {
+		c.Layers[l] = layer.Clone()
+	}
+	return c
+}
+
+// forwardFull runs the whole model on seq, returning logits and the
+// per-layer caches (nil caches slice if keepCache is false).
+func (m *Model) forwardFull(seq []int, stats *ActivationStats, sampleID int, keepCache bool) (*tensor.Matrix, []*layerCache, *tensor.Matrix, []float64) {
+	T := len(seq)
+	x := tensor.NewMatrix(T, m.Cfg.Dim)
+	for t, tok := range seq {
+		copy(x.Row(t), m.Embed.Row(tok))
+	}
+	var caches []*layerCache
+	if keepCache {
+		caches = make([]*layerCache, len(m.Layers))
+	}
+	for l, layer := range m.Layers {
+		out, c := layer.Forward(l, x, stats, sampleID)
+		if keepCache {
+			caches[l] = c
+		}
+		x = out
+	}
+	// Final pre-head layer norm (frozen-statistics backward).
+	normed := tensor.NewMatrix(T, m.Cfg.Dim)
+	invStd := make([]float64, T)
+	for t := 0; t < T; t++ {
+		invStd[t] = layerNormRow(normed.Row(t), x.Row(t))
+	}
+	logits := tensor.MatMul(normed, m.Head)
+	return logits, caches, normed, invStd
+}
+
+// Forward runs inference on seq and returns the T × VocabSize logits.
+// Routing statistics are recorded into stats when non-nil; sampleID tags the
+// sequence for per-expert data-set tracking (pass -1 to skip).
+func (m *Model) Forward(seq []int, stats *ActivationStats, sampleID int) *tensor.Matrix {
+	logits, _, _, _ := m.forwardFull(seq, stats, sampleID, false)
+	return logits
+}
+
+// Loss computes the mean next-token cross-entropy of seq under the model,
+// restricted to positions where mask is true (mask[t] gates the prediction
+// made *at* position t for token t+1). A nil mask scores all positions.
+func (m *Model) Loss(seq []int, mask []bool) float64 {
+	logits := m.Forward(seq, nil, -1)
+	loss, _ := crossEntropy(logits, seq, mask, nil)
+	return loss
+}
+
+// ForwardBackward runs a training step's forward and backward passes for one
+// sequence, accumulating expert gradients into grads. It returns the mean
+// masked cross-entropy loss. Embedding/head gradients are accumulated only
+// when grads was created with trainEmbed.
+func (m *Model) ForwardBackward(seq []int, mask []bool, grads *Grads, stats *ActivationStats, sampleID int) float64 {
+	logits, caches, normed, invStd := m.forwardFull(seq, stats, sampleID, true)
+	dLogits := tensor.NewMatrix(logits.Rows, logits.Cols)
+	loss, n := crossEntropy(logits, seq, mask, dLogits)
+	if n == 0 {
+		return 0
+	}
+
+	// Head backward: logits = normed × Head.
+	if grads != nil && grads.Head != nil {
+		grads.Head.Add(tensor.MatMulTransA(normed, dLogits))
+	}
+	dNormed := tensor.MatMulTransB(dLogits, m.Head)
+	// Final LN backward (exact).
+	dX := tensor.NewMatrix(dNormed.Rows, dNormed.Cols)
+	for t := 0; t < dX.Rows; t++ {
+		layerNormBackward(dX.Row(t), dNormed.Row(t), normed.Row(t), invStd[t])
+	}
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		dX = m.Layers[l].Backward(l, caches[l], dX, grads)
+	}
+	// Embedding backward.
+	if grads != nil && grads.Embed != nil {
+		for t, tok := range seq {
+			row := grads.Embed.Row(tok)
+			src := dX.Row(t)
+			for d := range row {
+				row[d] += src[d]
+			}
+		}
+	}
+	return loss
+}
+
+// crossEntropy computes mean next-token cross-entropy over masked positions
+// and, if dLogits is non-nil, writes (softmax - onehot)/n into it.
+func crossEntropy(logits *tensor.Matrix, seq []int, mask []bool, dLogits *tensor.Matrix) (float64, int) {
+	T := logits.Rows
+	var loss float64
+	var n int
+	probs := make([]float64, logits.Cols)
+	for t := 0; t < T-1; t++ {
+		if mask != nil && !mask[t] {
+			continue
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	for t := 0; t < T-1; t++ {
+		if mask != nil && !mask[t] {
+			continue
+		}
+		target := seq[t+1]
+		tensor.Softmax(probs, logits.Row(t))
+		p := probs[target]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+		if dLogits != nil {
+			drow := dLogits.Row(t)
+			inv := 1 / float64(n)
+			for j, pv := range probs {
+				drow[j] = pv * inv
+			}
+			drow[target] -= inv
+		}
+	}
+	return loss / float64(n), n
+}
+
+// Generate greedily decodes n tokens following prefix.
+func (m *Model) Generate(prefix []int, n int) []int {
+	seq := append([]int(nil), prefix...)
+	for i := 0; i < n; i++ {
+		if len(seq) >= m.Cfg.MaxSeqLen {
+			seq = seq[len(seq)-m.Cfg.MaxSeqLen+1:]
+		}
+		logits := m.Forward(seq, nil, -1)
+		next := tensor.ArgMax(logits.Row(logits.Rows - 1))
+		seq = append(seq, next)
+	}
+	return seq[len(seq)-n:]
+}
+
+// ScoreContinuation returns the mean log-probability the model assigns to
+// cont following prefix. Used for multiple-choice evaluation.
+func (m *Model) ScoreContinuation(prefix, cont []int) float64 {
+	seq := append(append([]int(nil), prefix...), cont...)
+	logits := m.Forward(seq, nil, -1)
+	probs := make([]float64, logits.Cols)
+	var lp float64
+	for i, tok := range cont {
+		pos := len(prefix) + i - 1 // prediction for cont[i] is made at pos
+		if pos < 0 {
+			continue
+		}
+		tensor.Softmax(probs, logits.Row(pos))
+		p := probs[tok]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		lp += math.Log(p)
+	}
+	return lp / float64(len(cont))
+}
+
+// OutputEmbedding returns the final-token embedding the model produces for
+// seq (the pre-head normalized hidden state). The paper's "output error"
+// metrics compare these embeddings between a modified and a reference model
+// via cosine distance.
+func (m *Model) OutputEmbedding(seq []int) []float64 {
+	_, _, normed, _ := m.forwardFull(seq, nil, -1, false)
+	out := make([]float64, m.Cfg.Dim)
+	copy(out, normed.Row(normed.Rows-1))
+	return out
+}
+
+// ApplySGD applies accumulated expert gradients (and embedding/head when
+// present) with learning rate lr, then clears grads.
+func (m *Model) ApplySGD(grads *Grads, lr float64) {
+	for l, layer := range m.Layers {
+		for e, eg := range grads.Experts[l] {
+			if eg == nil {
+				continue
+			}
+			layer.Experts[e].ApplySGD(eg, lr)
+		}
+		for e := range grads.TokenGradNorm[l] {
+			grads.TokenGradNorm[l][e] = 0
+			grads.TokenGradCount[l][e] = 0
+		}
+	}
+	if grads.Embed != nil {
+		m.Embed.AddScaled(grads.Embed, -lr)
+		m.Head.AddScaled(grads.Head, -lr)
+		grads.Embed.Zero()
+		grads.Head.Zero()
+	}
+}
+
+// SetExpertsFrozen marks every expert in the model frozen (true) or
+// trainable (false).
+func (m *Model) SetExpertsFrozen(frozen bool) {
+	for _, layer := range m.Layers {
+		for _, e := range layer.Experts {
+			e.Frozen = frozen
+		}
+	}
+}
+
+// ExpertAt returns the expert currently serving original index orig in layer
+// l, following the routing indirection.
+func (m *Model) ExpertAt(l, orig int) *Expert {
+	layer := m.Layers[l]
+	return layer.Experts[layer.Routing[orig]]
+}
+
+// MemoryBytes returns the FP32 in-memory footprint of the current model
+// (after any merging), counting expert, gate, attention, and embedding
+// parameters at 4 bytes each.
+func (m *Model) MemoryBytes() int64 {
+	var params int64
+	params += int64(m.Embed.Rows*m.Embed.Cols + m.Head.Rows*m.Head.Cols)
+	for _, layer := range m.Layers {
+		params += int64(3 * m.Cfg.Dim * m.Cfg.Dim)
+		params += int64(layer.Gate.Rows * layer.Gate.Cols)
+		for _, e := range layer.Experts {
+			params += int64(e.Params())
+		}
+	}
+	return params * 4
+}

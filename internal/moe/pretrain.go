@@ -1,0 +1,26 @@
+package moe
+
+import "repro/internal/tensor"
+
+// Pretrain trains the model's embedding, head, and experts (gates and
+// attention stay at their random initialization, as discussed in DESIGN.md)
+// on sequences drawn from sampler. It returns the per-step mean loss curve.
+//
+// Pre-training serves two purposes in the reproduction: it gives the model a
+// real language-model prior so fine-tuning experiments start from sensible
+// weights, and it lets expert specialization emerge so activation patterns
+// are non-uniform — the property all of Flux's mechanisms depend on.
+func Pretrain(m *Model, sampler func(*tensor.RNG) []int, steps, batch int, lr float64, g *tensor.RNG) []float64 {
+	grads := NewGrads(m, true)
+	losses := make([]float64, 0, steps)
+	for s := 0; s < steps; s++ {
+		var loss float64
+		for b := 0; b < batch; b++ {
+			seq := sampler(g)
+			loss += m.ForwardBackward(seq, nil, grads, nil, -1)
+		}
+		m.ApplySGD(grads, lr/float64(batch))
+		losses = append(losses, loss/float64(batch))
+	}
+	return losses
+}

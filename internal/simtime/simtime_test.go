@@ -1,0 +1,151 @@
+package simtime
+
+import (
+	"testing"
+
+	"repro/internal/moe"
+)
+
+func cfg() moe.Config { return moe.SimConfigLLaMATrain() }
+
+func TestTiersValid(t *testing.T) {
+	tiers := ConsumerTiers()
+	if len(tiers) != 3 {
+		t.Fatalf("%d tiers", len(tiers))
+	}
+	for _, d := range tiers {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// High tier must be strictly faster and roomier than low tier.
+	lo, hi := tiers[0], tiers[2]
+	if hi.Flops <= lo.Flops || hi.CapacityFrac <= lo.CapacityFrac {
+		t.Fatal("tier ordering violated")
+	}
+}
+
+func TestDeviceValidateRejects(t *testing.T) {
+	bad := []Device{
+		{Name: "a", Flops: 0, PCIeBw: 1, NetBw: 1, CapacityFrac: 0.5, TuneFrac: 0.1},
+		{Name: "b", Flops: 1, PCIeBw: 1, NetBw: 1, CapacityFrac: 1.5, TuneFrac: 0.1},
+		{Name: "c", Flops: 1, PCIeBw: 1, NetBw: 1, CapacityFrac: 0.5, TuneFrac: 0.6},
+		{Name: "d", Flops: 1, PCIeBw: 1, NetBw: 1, CapacityFrac: 0.5, TuneFrac: 0},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("device %q should be invalid", d.Name)
+		}
+	}
+}
+
+func TestTierForRoundRobin(t *testing.T) {
+	tiers := ConsumerTiers()
+	if TierFor(tiers, 0).Name != TierFor(tiers, 3).Name {
+		t.Fatal("round-robin broken")
+	}
+	if TierFor(tiers, 0).Name == TierFor(tiers, 1).Name {
+		t.Fatal("adjacent participants should differ")
+	}
+}
+
+func TestForwardFlopsScaling(t *testing.T) {
+	c := cfg()
+	f1 := ForwardFlops(c, 100)
+	f2 := ForwardFlops(c, 200)
+	if f2 <= f1 {
+		t.Fatal("flops must grow with tokens")
+	}
+	// Doubling experts per layer grows gate cost only, so total grows but
+	// sublinearly.
+	c2 := moe.Uniform(c.Name, c.VocabSize, c.Dim, c.FFNDim, c.Layers(), c.ExpertsPerLayer[0]*2, c.TopK, c.MaxSeqLen)
+	if ForwardFlops(c2, 100) <= f1 {
+		t.Fatal("more experts should not be cheaper")
+	}
+}
+
+func TestTrainFlopsExceedsForward(t *testing.T) {
+	c := cfg()
+	if TrainFlops(c, 100, 0.2) <= ForwardFlops(c, 100) {
+		t.Fatal("training must cost more than inference")
+	}
+	if TrainFlops(c, 100, 1.0) <= TrainFlops(c, 100, 0.1) {
+		t.Fatal("more tuning experts must cost more")
+	}
+}
+
+func TestProfileCheaperAtFewerBits(t *testing.T) {
+	d := ConsumerTiers()[1]
+	c := cfg()
+	p2 := d.ProfileSeconds(c, 1000, 2)
+	p8 := d.ProfileSeconds(c, 1000, 8)
+	full := d.Seconds(ForwardFlops(c, 1000))
+	if !(p2 < p8 && p8 < full) {
+		t.Fatalf("profile cost ordering wrong: %v %v %v", p2, p8, full)
+	}
+}
+
+func TestOffloadCostScalesWithExperts(t *testing.T) {
+	d := ConsumerTiers()[0]
+	c := cfg()
+	if d.OffloadSeconds(c, 10) <= d.OffloadSeconds(c, 1) {
+		t.Fatal("offload cost must grow with expert count")
+	}
+}
+
+func TestOffloadDominatesCompute(t *testing.T) {
+	// The premise behind FMD's slowness (paper §8.2): shuttling experts
+	// over PCIe must dwarf the compute of a local step on consumer tiers.
+	d := ConsumerTiers()[0]
+	c := cfg()
+	compute := d.Seconds(TrainFlops(c, 16*c.MaxSeqLen, 1.0))
+	// FMD shuttles roughly the uncached fraction of experts in and out
+	// every local step.
+	total := c.Layers() * c.ExpertsPerLayer[0]
+	loads := int(2 * (1 - d.CapacityFrac) * float64(total))
+	offload := d.OffloadSeconds(c, loads)
+	if offload < compute*0.3 {
+		t.Fatalf("offload %v should be significant vs compute %v", offload, compute)
+	}
+}
+
+func TestUplink(t *testing.T) {
+	d := ConsumerTiers()[1]
+	if d.UplinkSeconds(0) != d.NetLatency {
+		t.Fatal("zero bytes should cost exactly latency")
+	}
+	if d.UplinkSeconds(1e6) <= d.UplinkSeconds(1e3) {
+		t.Fatal("uplink must scale with bytes")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	c.Advance(PhaseProfiling, 10)
+	c.Advance(PhaseFineTuning, 50)
+	c.Advance(PhaseFineTuning, -5) // ignored
+	if c.Seconds() != 60 {
+		t.Fatalf("seconds = %v", c.Seconds())
+	}
+	if c.Hours() != 60.0/3600 {
+		t.Fatalf("hours = %v", c.Hours())
+	}
+	if c.PhaseSeconds(PhaseFineTuning) != 50 {
+		t.Fatalf("phase seconds = %v", c.PhaseSeconds(PhaseFineTuning))
+	}
+	b := c.Breakdown()
+	if b[PhaseProfiling] != 10 {
+		t.Fatalf("breakdown = %v", b)
+	}
+	b[PhaseProfiling] = 999
+	if c.PhaseSeconds(PhaseProfiling) != 10 {
+		t.Fatal("breakdown must be a copy")
+	}
+}
+
+func TestModelExpertBytes(t *testing.T) {
+	c := cfg()
+	if ExpertBytes(c) <= 0 || ModelBytes(c) <= ExpertBytes(c) {
+		t.Fatal("byte accounting wrong")
+	}
+}

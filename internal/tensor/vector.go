@@ -1,0 +1,183 @@
+package tensor
+
+import "math"
+
+// Dot returns the inner product of a and b. Lengths must match.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSim returns the cosine similarity of a and b, or 0 if either is zero.
+func CosineSim(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// CosineDist returns 1 - CosineSim(a, b); it is 0 for identical directions
+// and 2 for opposite ones. The paper uses this as its "output error" metric.
+func CosineDist(a, b []float64) float64 { return 1 - CosineSim(a, b) }
+
+// Softmax writes the softmax of src into dst (may alias). It is numerically
+// stabilized by max subtraction.
+func Softmax(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: softmax length mismatch")
+	}
+	mx := math.Inf(-1)
+	for _, v := range src {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - mx)
+		dst[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		u := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// SoftmaxInPlace replaces v with softmax(v).
+func SoftmaxInPlace(v []float64) { Softmax(v, v) }
+
+// ArgMax returns the index of the largest element, -1 for empty input.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return bi
+}
+
+// TopK returns the indices of the k largest elements in descending value
+// order. k is clamped to len(v). Selection is deterministic: ties break
+// toward the lower index.
+func TopK(v []float64, k int) []int {
+	if k > len(v) {
+		k = len(v)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, k)
+	used := make([]bool, len(v))
+	for n := 0; n < k; n++ {
+		best := math.Inf(-1)
+		bi := -1
+		for i, x := range v {
+			if !used[i] && x > best {
+				best, bi = x, i
+			}
+		}
+		used[bi] = true
+		idx = append(idx, bi)
+	}
+	return idx
+}
+
+// Mean returns the arithmetic mean of v, or 0 for empty input.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for len(v) < 2.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Normalize scales v in place so it sums to 1. Zero vectors become uniform.
+func Normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	if s == 0 {
+		u := 1 / float64(len(v))
+		for i := range v {
+			v[i] = u
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// Clamp returns x limited to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// LayerNorm writes the layer-normalized src into dst (may alias), using a
+// fixed epsilon. Gain/bias are identity; the models in this repo keep
+// normalization unlearned for simplicity.
+func LayerNorm(dst, src []float64) {
+	const eps = 1e-5
+	m := Mean(src)
+	var va float64
+	for _, x := range src {
+		d := x - m
+		va += d * d
+	}
+	va /= float64(len(src))
+	inv := 1 / math.Sqrt(va+eps)
+	for i, x := range src {
+		dst[i] = (x - m) * inv
+	}
+}
