@@ -1,4 +1,4 @@
-package repro
+package flux
 
 // Benchmark harness: one benchmark per table/figure of the paper, each
 // regenerating the experiment at quick scale and reporting its table, plus

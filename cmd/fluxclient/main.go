@@ -1,5 +1,6 @@
 // Command fluxclient joins a fluxserver deployment as one federated
-// participant with a locally generated synthetic data shard.
+// participant with a locally generated synthetic data shard. Ctrl-C leaves
+// the deployment cleanly.
 //
 // Usage:
 //
@@ -7,43 +8,42 @@
 package main
 
 import (
-	"log"
-
+	"context"
 	"flag"
+	"log"
+	"os"
+	"os/signal"
 
-	"repro/internal/data"
-	"repro/internal/fed"
-	"repro/internal/moe"
-	"repro/internal/tensor"
+	flux "repro"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "server address")
 	id := flag.Int("id", 0, "participant id (also seeds the local shard)")
 	dataset := flag.String("dataset", "gsm8k", "dolly | gsm8k | mmlu | piqa")
+	model := flag.String("model", "llama", "MoE architecture; must match the server")
 	samples := flag.Int("samples", 40, "local shard size")
 	batch := flag.Int("batch", 6, "mini-batch size")
 	iters := flag.Int("iters", 2, "local iterations per round")
 	lr := flag.Float64("lr", 2.0, "learning rate")
 	flag.Parse()
 
-	p, err := data.ProfileByName(*dataset)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vocab := moe.SimConfigLLaMATrain().VocabSize
-	ds := data.Generate(p, vocab, *samples, tensor.Named("client-shard").Split(string(rune('a'+*id))))
-	log.Printf("fluxclient %d: joining %s with %d %s samples", *id, *addr, *samples, *dataset)
-	final, err := fed.RunClient(fed.ClientConfig{
-		Participant: *id,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := flux.Join(ctx, flux.JoinConfig{
 		Addr:        *addr,
-		Shard:       ds.Samples,
+		Participant: *id,
+		Dataset:     *dataset,
+		Model:       *model,
+		Samples:     *samples,
 		Batch:       *batch,
 		LocalIters:  *iters,
 		LR:          *lr,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("fluxclient %d: received final model (%d params)", *id, final.Cfg.TotalParams())
+	log.Printf("fluxclient %d: received final model (%d params)", *id, res.Params)
 }

@@ -1,5 +1,6 @@
 // Command fluxserver runs the parameter server of a real TCP federated
-// fine-tuning deployment. Participants join with cmd/fluxclient.
+// fine-tuning deployment. Participants join with cmd/fluxclient. Ctrl-C
+// shuts the deployment down cleanly.
 //
 // Usage:
 //
@@ -7,45 +8,37 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
-	"net"
+	"os"
+	"os/signal"
 
-	"repro/internal/fed"
-	"repro/internal/moe"
+	flux "repro"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
 	clients := flag.Int("clients", 3, "participants to wait for")
 	rounds := flag.Int("rounds", 5, "federated rounds")
+	model := flag.String("model", "llama", "MoE architecture: llama | deepseek")
 	out := flag.String("out", "", "optional path for the final model checkpoint")
 	pretrain := flag.Int("pretrain", 300, "base-model pre-training steps")
 	flag.Parse()
 
-	cfg := fed.DefaultConfig()
-	cfg.PretrainSteps = *pretrain
-	model, err := fed.BaseModel(moe.SimConfigLLaMATrain(), cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ln.Close()
-	log.Printf("fluxserver: listening on %s, waiting for %d participants", ln.Addr(), *clients)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	srv := &fed.Server{Global: model, Rounds: *rounds, Clients: *clients}
-	if err := srv.Serve(ln); err != nil {
+	err := flux.Serve(ctx, flux.ServerConfig{
+		Addr:           *addr,
+		Clients:        *clients,
+		Rounds:         *rounds,
+		Model:          *model,
+		PretrainSteps:  *pretrain,
+		CheckpointPath: *out,
+		Logf:           log.Printf,
+	})
+	if err != nil {
 		log.Fatal(err)
-	}
-	log.Printf("fluxserver: completed %d rounds", *rounds)
-	if *out != "" {
-		if err := model.SaveFile(*out); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("final model saved to", *out)
 	}
 }

@@ -6,6 +6,9 @@
 //	fluxsim -exp figure10          # one experiment, full scale
 //	fluxsim -exp all -quick        # the whole suite at bench scale
 //	fluxsim -list                  # show available experiment ids
+//
+// The exit status is non-zero if any requested experiment fails; remaining
+// experiments still run.
 package main
 
 import (
@@ -15,7 +18,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	flux "repro"
 )
 
 func main() {
@@ -25,22 +28,26 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(experiments.Order(), "\n"))
+		fmt.Println(strings.Join(flux.Experiments(), "\n"))
 		return
 	}
-	opts := experiments.Options{Quick: *quick}
-	ids := experiments.Order()
+	ids := flux.Experiments()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
+	failed := 0
 	for _, id := range ids {
+		id = strings.TrimSpace(id)
 		start := time.Now()
-		tab, err := experiments.Run(strings.TrimSpace(id), opts)
-		if err != nil {
+		if err := flux.RunExperiment(id, *quick, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "fluxsim:", err)
-			os.Exit(1)
+			failed++
+			continue
 		}
-		tab.Fprint(os.Stdout)
 		fmt.Printf("  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fluxsim: %d of %d experiments failed\n", failed, len(ids))
+		os.Exit(1)
 	}
 }

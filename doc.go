@@ -1,13 +1,27 @@
-// Package repro is a from-scratch Go reproduction of "Federated Fine-Tuning
+// Package flux is a from-scratch Go reproduction of "Federated Fine-Tuning
 // of Sparsely-Activated Large Language Models on Resource-Constrained
-// Devices" (Flux, EUROSYS '26): a trainable MoE transformer substrate, a
-// federated learning engine with a simulated consumer-GPU testbed, the Flux
-// system (quantized stale profiling, adaptive expert merging, dynamic expert
-// role assignment), the FMD/FMQ/FMES baselines, and a harness that
-// regenerates every table and figure of the paper's evaluation.
+// Devices" (Flux, EUROSYS '26), exposed as an importable SDK: a trainable
+// MoE transformer substrate, a federated learning engine with a simulated
+// consumer-GPU testbed, the Flux system (quantized stale profiling, adaptive
+// expert merging, dynamic expert role assignment), the FMD/FMQ/FMES
+// baselines, and a harness that regenerates every table and figure of the
+// paper's evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-versus-measured results. The root-level
-// benchmarks (bench_test.go) regenerate each experiment; cmd/fluxsim is the
-// equivalent CLI.
-package repro
+// The public surface is built around three ideas:
+//
+//   - Functional options: New(WithMethod("flux"), WithRounds(30), ...)
+//     assembles an Experiment from composable settings.
+//   - Transports: the same Run(ctx) round loop drives an InProcess
+//     simulation or a real gob/TCP deployment (TCP), and cancelling the
+//     context stops either cleanly.
+//   - A method registry: Methods lists the available federated fine-tuning
+//     methods ("flux", "fmd", "fmq", "fmes"); RegisterMethod adds more.
+//
+// Per-round accuracy, simulated time, and wire traffic stream out through
+// RoundEvent callbacks (WithRoundEvents). Serve and Join run the
+// cross-machine parameter-server deployment that cmd/fluxserver and
+// cmd/fluxclient wrap. Experiments and RunExperiment regenerate the paper's
+// tables and figures; cmd/fluxsim is the equivalent CLI.
+//
+// See README.md for a quickstart and a tour of the repository.
+package flux

@@ -1,0 +1,29 @@
+package flux
+
+import "time"
+
+// RoundEvent is one observation of a running experiment, emitted after the
+// baseline evaluation (Round 0) and after every completed federated round.
+type RoundEvent struct {
+	// Round is 0 for the pre-training baseline evaluation, then 1..N.
+	Round int
+	// Score is the evaluation score of the global model after this round.
+	Score float64
+	// SimHours is the simulated clock (in-process transport only; the TCP
+	// transport runs in real time and leaves it zero).
+	SimHours float64
+	// Elapsed is wall-clock time since Run started.
+	Elapsed time.Duration
+	// UplinkBytes is the update payload participants uploaded this round.
+	UplinkBytes float64
+	// ExpertsTouched is how many distinct experts aggregation updated.
+	ExpertsTouched int
+	// Phases breaks the round's simulated seconds down by phase
+	// (profiling, merging, assignment, fine-tuning, communication);
+	// nil for transports that do not model phase time.
+	Phases map[string]float64
+}
+
+// EventHandler consumes RoundEvents. Handlers run synchronously in the
+// round loop; to decouple, forward into a channel you own.
+type EventHandler func(RoundEvent)

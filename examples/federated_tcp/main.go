@@ -1,71 +1,48 @@
-// Federated fine-tuning over real TCP: starts a parameter server and three
-// participants in one process, communicating through the same gob/TCP
-// protocol cmd/fluxserver and cmd/fluxclient use across machines.
+// Federated fine-tuning over real TCP, through the public SDK: the TCP
+// transport starts a parameter server and one goroutine per participant in
+// this process, all speaking the same gob/TCP wire protocol cmd/fluxserver
+// and cmd/fluxclient use across machines. The round loop, evaluation, and
+// events are identical to the in-process transport — and for a wire-capable
+// method the training math is bit-identical too.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"net"
-	"sync"
 
-	"repro/internal/data"
-	"repro/internal/eval"
-	"repro/internal/fed"
-	"repro/internal/moe"
-	"repro/internal/tensor"
+	flux "repro"
 )
 
 func main() {
-	cfg := fed.DefaultConfig()
-	cfg.PretrainSteps = 250
-	model, err := fed.BaseModel(moe.SimConfigLLaMATrain(), cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	p := data.PIQA()
-	ds := data.Generate(p, model.Cfg.VocabSize, 120, tensor.Named("tcp-example"))
-	train, test := ds.Split(0.8, tensor.Named("tcp-example/split"))
-	shards := data.PartitionNonIID(train, 3, 0.5, tensor.Named("tcp-example/parts"))
-
-	before := eval.Evaluate(model, p, test)
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ln.Close()
-	fmt.Println("server listening on", ln.Addr())
-
-	srv := &fed.Server{Global: model, Rounds: 6, Clients: 3}
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ln) }()
-
-	var wg sync.WaitGroup
-	for i := 0; i < 3; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			final, err := fed.RunClient(fed.ClientConfig{
-				Participant: i,
-				Addr:        ln.Addr().String(),
-				Shard:       shards[i],
-				Batch:       6,
-				LocalIters:  2,
-				LR:          2.0,
-			})
-			if err != nil {
-				log.Fatalf("client %d: %v", i, err)
+	var baseline float64
+	exp, err := flux.New(
+		flux.WithMethod("fmd"), // full-model FedAvg, the wire-capable method
+		flux.WithTransport(flux.TCP()),
+		flux.WithDataset("piqa"),
+		flux.WithSeed("tcp-example"),
+		flux.WithParticipants(3),
+		flux.WithRounds(6),
+		flux.WithDatasetSize(120),
+		flux.WithPretrainSteps(250),
+		flux.WithRoundEvents(func(ev flux.RoundEvent) {
+			if ev.Round == 0 {
+				baseline = ev.Score
+				return
 			}
-			fmt.Printf("client %d finished (%d local samples, final model %d params)\n",
-				i, len(shards[i]), final.Cfg.TotalParams())
-		}(i)
-	}
-	wg.Wait()
-	if err := <-done; err != nil {
+			fmt.Printf("  round %d: score=%.3f, %0.f update bytes on the wire (%.1fs elapsed)\n",
+				ev.Round, ev.Score, ev.UplinkBytes, ev.Elapsed.Seconds())
+		}),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	after := eval.Evaluate(model, p, test)
-	fmt.Printf("held-out %s: %.3f -> %.3f after 6 TCP federated rounds\n", p.MetricName, before, after)
+	fmt.Println("running 6 federated rounds over loopback TCP...")
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheld-out score: %.3f -> %.3f after %d TCP federated rounds (%.0f total update bytes)\n",
+		baseline, res.Final, res.Rounds, res.UplinkBytes)
 }

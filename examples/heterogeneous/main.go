@@ -1,61 +1,67 @@
-// Heterogeneous fleet: shows Flux's expert role assignment adapting to
-// device heterogeneity — low-tier participants tune few experts while
-// high-tier ones tune many, and the exploration-exploitation split shifts
-// toward exploitation as ε ramps (§6 of the paper).
+// Heterogeneous fleet: shows Flux adapting to device heterogeneity through
+// the public SDK — low-tier participants hold and tune few experts while
+// high-tier ones handle many (Describe), the exploration-exploitation split
+// shifts toward exploitation as ε ramps (§6 of the paper), and the round
+// events expose where each round's simulated time goes per phase.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/data"
-	"repro/internal/fed"
-	"repro/internal/flux"
-	"repro/internal/flux/assign"
-	"repro/internal/flux/profile"
-	"repro/internal/moe"
-	"repro/internal/quant"
-	"repro/internal/tensor"
+	flux "repro"
+	"repro/internal/flux/assign" // ε schedule internals, for illustration only
 )
 
 func main() {
-	cfg := fed.DefaultConfig()
-	cfg.Participants = 6
-	cfg.MaxRounds = 8
-	cfg.PretrainSteps = 250
-	p := data.MMLU()
-	env, err := fed.NewEnv(moe.SimConfigLLaMATrain(), p, cfg, "hetero-example")
+	const rounds = 8
+	exp, err := flux.New(
+		flux.WithMethod("flux"),
+		flux.WithDataset("mmlu"),
+		flux.WithSeed("hetero-example"),
+		flux.WithParticipants(6),
+		flux.WithRounds(rounds),
+		flux.WithPretrainSteps(250),
+		flux.WithDatasetTarget(),
+		flux.WithRoundEvents(func(ev flux.RoundEvent) {
+			if ev.Round == 0 {
+				fmt.Printf("  baseline score=%.3f\n", ev.Score)
+				return
+			}
+			fmt.Printf("  round %2d  score=%.3f  t=%5.2fh  fine-tuning=%.0fs comm=%.0fs profiling=%.0fs\n",
+				ev.Round, ev.Score, ev.SimHours,
+				ev.Phases["fine-tuning"], ev.Phases["communication"], ev.Phases["profiling"])
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("fleet:")
-	for i, d := range env.Devices {
-		capacity, tune := env.Budgets(i)
-		fmt.Printf("  p%d %-14s flops=%.0e capacity=%d tune=%d shard=%d samples\n",
-			i, d.Name, d.Flops, capacity, tune, len(env.Shards[i]))
+	d, err := exp.Describe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fleet (3 consumer-GPU tiers, round-robin):")
+	for _, p := range d.Participants {
+		fmt.Printf("  p%d %-14s capacity=%2d experts, tune=%2d, shard=%d samples\n",
+			p.Index, p.Device, p.Capacity, p.Tune, p.ShardSize)
 	}
 
-	// Show assignments for the slowest and fastest participants across an
-	// ε ramp, using profiling-seeded utilities.
-	prof := profile.Profiler{Bits: quant.Bits4, TrackSamples: true}
-	eps := assign.DefaultDynamicEpsilon(cfg.MaxRounds)
-	for _, i := range []int{0, 2} { // tier-low and tier-high
-		res := prof.Run(env.Global, env.Batch(i, 0))
-		table := assign.NewUtilityTable(res.Stats)
-		_, tune := env.Budgets(i)
-		fmt.Printf("\nparticipant %d (%s), B_tune=%d:\n", i, env.Devices[i].Name, tune)
-		for _, r := range []int{0, cfg.MaxRounds / 2, cfg.MaxRounds - 1} {
-			a := assign.Assign(table, env.Global.Cfg.ExpertsPerLayer, tune, eps.Epsilon(r),
-				tensor.Named(fmt.Sprintf("hetero/%d/%d", i, r)))
-			fmt.Printf("  round %2d  eps=%.2f  exploit=%d experts, explore=%d experts\n",
-				r, eps.Epsilon(r), len(a.Exploit), len(a.Explore))
-		}
+	// The dynamic ε schedule drives Algorithm 1's exploration-exploitation
+	// split: early rounds explore broadly, later rounds exploit the experts
+	// known to matter.
+	eps := assign.DefaultDynamicEpsilon(rounds)
+	fmt.Println("\nexploitation fraction ε per round:")
+	for _, r := range []int{0, rounds / 2, rounds - 1} {
+		fmt.Printf("  round %2d  eps=%.2f\n", r, eps.Epsilon(r))
 	}
 
-	// Then run the full federated loop and report the outcome.
-	runner := flux.New(flux.DefaultOptions(cfg.MaxRounds), cfg.Participants)
-	tr, clock := fed.Run(env, runner, p.TargetAcc)
+	fmt.Println("\nfederated run:")
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nafter %d rounds (%.2f simulated hours): score %.3f (target %.2f)\n",
-		len(tr.Points)-1, clock.Hours(), tr.Final(), p.TargetAcc)
+		res.Rounds, res.SimHours, res.Final, res.Target)
 }

@@ -2,14 +2,19 @@
 // paper) on a single participant — quantized profiling, adaptive per-layer
 // budgets, fused similarity clustering, importance-weighted merging, and
 // gate re-routing — with before/after memory and output-error numbers.
+//
+// Unlike the other examples, this one deliberately reaches below the public
+// SDK into the internal packages: it demonstrates the §5 machinery itself,
+// not a federated deployment. Use the root flux package (see
+// examples/quickstart) for anything that runs rounds.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	flux "repro"
 	"repro/internal/data"
-	"repro/internal/fed"
 	"repro/internal/flux/assign"
 	"repro/internal/flux/merge"
 	"repro/internal/flux/profile"
@@ -19,9 +24,7 @@ import (
 )
 
 func main() {
-	cfg := fed.DefaultConfig()
-	cfg.PretrainSteps = 250
-	global, err := fed.BaseModel(moe.SimConfigLLaMATrain(), cfg)
+	global, err := flux.BaseModel("llama", 250)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,51 +1,57 @@
 // Quickstart: federated fine-tuning of a small MoE model with Flux,
-// entirely in-process. Builds a pre-trained base model, a non-IID federated
-// environment over a synthetic GSM8K-style dataset, and runs Flux rounds
-// until the target score is reached, printing the convergence curve.
+// entirely in-process, through the public SDK. New assembles the experiment
+// from functional options, Describe reports the fleet, and Run drives
+// rounds until the dataset's target score is reached, streaming the
+// convergence curve through round events.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/data"
-	"repro/internal/fed"
-	"repro/internal/flux"
-	"repro/internal/metrics"
-	"repro/internal/moe"
+	flux "repro"
 )
 
 func main() {
-	cfg := fed.DefaultConfig()
-	cfg.Participants = 6
-	cfg.MaxRounds = 12
-	cfg.PretrainSteps = 300 // keep the example fast; more = better base model
-
-	profile := data.GSM8K()
-	env, err := fed.NewEnv(moe.SimConfigLLaMATrain(), profile, cfg, "quickstart")
+	exp, err := flux.New(
+		flux.WithMethod("flux"),
+		flux.WithDataset("gsm8k"),
+		flux.WithSeed("quickstart"),
+		flux.WithParticipants(6),
+		flux.WithRounds(12),
+		flux.WithPretrainSteps(300), // keep the example fast; more = better base model
+		flux.WithDatasetTarget(),
+		flux.WithRoundEvents(func(ev flux.RoundEvent) {
+			fmt.Printf("  round %2d  t=%6.2fh  score=%.3f  uplink=%.0f bytes\n",
+				ev.Round, ev.SimHours, ev.Score, ev.UplinkBytes)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("model: %s (%d params), dataset: %s, %d participants\n",
-		env.Global.Cfg.Name, env.Global.Cfg.TotalParams(), profile.Name, cfg.Participants)
-	for i := 0; i < cfg.Participants; i++ {
-		capacity, tune := env.Budgets(i)
-		fmt.Printf("  participant %d (%s): B=%d experts, B_tune=%d\n",
-			i, env.Devices[i].Name, capacity, tune)
+
+	d, err := exp.Describe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %s (%d params), dataset: %s, %d participants, target %s = %.2f\n",
+		d.Model, d.ModelParams, d.Dataset, len(d.Participants), d.Metric, d.Target)
+	for _, p := range d.Participants {
+		fmt.Printf("  participant %d (%s): B=%d experts, B_tune=%d, %d local samples\n",
+			p.Index, p.Device, p.Capacity, p.Tune, p.ShardSize)
 	}
 
-	runner := flux.New(flux.DefaultOptions(cfg.MaxRounds), cfg.Participants)
-	tracker, clock := fed.Run(env, runner, profile.TargetAcc)
-
-	fmt.Printf("\nconvergence (target %s = %.2f):\n", profile.MetricName, profile.TargetAcc)
-	for _, p := range tracker.Points {
-		fmt.Printf("  round %2d  t=%6.2fh  score=%.3f  rel=%.2f\n",
-			p.Round, p.TimeHours, p.Score, metrics.RelativeAccuracy(p.Score, profile.TargetAcc))
+	fmt.Println("\nconvergence:")
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
-	if tta, ok := tracker.TimeToTarget(profile.TargetAcc); ok {
-		fmt.Printf("\nreached target in %.2f simulated hours (%d rounds)\n", tta, len(tracker.Points)-1)
+
+	if res.TargetReached {
+		fmt.Printf("\nreached target in %.2f simulated hours (%d rounds)\n", res.SimHours, res.Rounds)
 	} else {
-		fmt.Printf("\ndid not reach target within %d rounds (best %.3f)\n", cfg.MaxRounds, tracker.Best())
+		fmt.Printf("\ndid not reach target within %d rounds (best %.3f)\n", res.Rounds, res.Best)
 	}
-	fmt.Printf("round-time breakdown: %v\n", clock.Breakdown())
+	fmt.Printf("round-time breakdown: %v\n", res.Phases)
 }

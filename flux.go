@@ -1,0 +1,248 @@
+package flux
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/simtime"
+)
+
+// Experiment is one configured federated fine-tuning run. Build it with
+// New, inspect it with Describe, execute it with Run. An Experiment is
+// single-shot: Run consumes it.
+type Experiment struct {
+	cfg       Config
+	transport Transport
+	handlers  []EventHandler
+
+	mu  sync.Mutex
+	env *fed.Env
+	ran bool
+}
+
+// New assembles an Experiment from DefaultConfig plus the given options and
+// validates the result. The expensive parts (dataset synthesis, base-model
+// pre-training) are deferred to the first Describe or Run call.
+func New(opts ...Option) (*Experiment, error) {
+	e := &Experiment{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(e)
+		}
+	}
+	if e.transport == nil {
+		e.transport = InProcess()
+	}
+	if err := e.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Config returns the experiment's resolved configuration.
+func (e *Experiment) Config() Config { return e.cfg }
+
+// ParticipantInfo describes one member of the federated fleet.
+type ParticipantInfo struct {
+	Index     int
+	Device    string // consumer-GPU tier name
+	Capacity  int    // expert-capacity budget B_i
+	Tune      int    // tuning budget B_tune_i
+	ShardSize int    // local non-IID samples
+}
+
+// Description summarizes a materialized experiment.
+type Description struct {
+	Method, Dataset, Model string
+	Metric                 string  // the dataset's evaluation metric
+	Target                 float64 // early-stop target (0 = run all rounds)
+	Rounds                 int
+	ModelParams            int
+	Participants           []ParticipantInfo
+}
+
+// Describe materializes the environment (pre-training the base model on
+// first use) and reports the resulting fleet and model.
+func (e *Experiment) Describe() (Description, error) {
+	env, err := e.ensureEnv(context.Background())
+	if err != nil {
+		return Description{}, err
+	}
+	d := Description{
+		Method:      e.cfg.Method,
+		Dataset:     e.cfg.Dataset,
+		Model:       e.cfg.Model,
+		Metric:      env.Profile.MetricName,
+		Target:      e.resolveTarget(env.Profile),
+		Rounds:      e.cfg.Rounds,
+		ModelParams: env.Global.Cfg.TotalParams(),
+	}
+	for i := 0; i < e.cfg.Participants; i++ {
+		capacity, tune := env.Budgets(i)
+		d.Participants = append(d.Participants, ParticipantInfo{
+			Index:     i,
+			Device:    env.Devices[i].Name,
+			Capacity:  capacity,
+			Tune:      tune,
+			ShardSize: len(env.Shards[i]),
+		})
+	}
+	return d, nil
+}
+
+// Result is the outcome of a completed run.
+type Result struct {
+	Method, Dataset, Model string
+	Transport              string
+	Rounds                 int     // rounds executed (≤ the configured budget)
+	Baseline               float64 // score of the pre-trained model before round 1
+	Final                  float64
+	Best                   float64
+	Target                 float64
+	TargetReached          bool
+	SimHours               float64 // simulated time (in-process transport)
+	Elapsed                time.Duration
+	UplinkBytes            float64 // total update payload uploaded
+	Phases                 map[string]float64
+	Events                 []RoundEvent // the full convergence curve, round 0 included
+}
+
+func (e *Experiment) ensureEnv(ctx context.Context) (*fed.Env, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.env != nil {
+		return e.env, nil
+	}
+	modelCfg, err := modelConfigByName(e.cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := data.ProfileByName(e.cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	env, err := fed.NewEnvContext(ctx, modelCfg, profile, e.cfg.fedConfig(), e.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// A method-specific RNG stream, so methods compared under the same seed
+	// start from identical state but draw independent randomness.
+	e.env = env.CloneForMethod(e.cfg.Method)
+	return e.env, nil
+}
+
+func (e *Experiment) resolveTarget(p data.Profile) float64 {
+	if e.cfg.UseDatasetTarget {
+		return p.TargetAcc
+	}
+	return e.cfg.Target
+}
+
+func (e *Experiment) emit(res *Result, ev RoundEvent) {
+	res.Events = append(res.Events, ev)
+	for _, h := range e.handlers {
+		h(ev)
+	}
+}
+
+// Run executes the experiment: one synchronous round protocol, driven over
+// whatever Transport the experiment was built with. Cancelling ctx stops
+// the run — including an in-flight TCP round — and returns the context's
+// error. On success the Result holds the full convergence curve.
+func (e *Experiment) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.ran {
+		e.mu.Unlock()
+		return nil, errors.New("flux: experiment already run; build a new one")
+	}
+	e.ran = true
+	e.mu.Unlock()
+
+	env, err := e.ensureEnv(ctx)
+	if err != nil {
+		return nil, err
+	}
+	env.SetContext(ctx)
+	if err := e.transport.Start(ctx, env, e.cfg.Method); err != nil {
+		e.transport.Close()
+		return nil, err
+	}
+
+	target := e.resolveTarget(env.Profile)
+	clock := simtime.NewClock()
+	start := time.Now()
+	res := &Result{
+		Method:    e.cfg.Method,
+		Dataset:   e.cfg.Dataset,
+		Model:     e.cfg.Model,
+		Transport: e.transport.Name(),
+		Target:    target,
+		Phases:    make(map[string]float64),
+	}
+
+	score := env.Evaluate()
+	res.Baseline, res.Best = score, score
+	e.emit(res, RoundEvent{Round: 0, Score: score, Elapsed: time.Since(start)})
+
+	var runErr error
+	for r := 0; r < e.cfg.Rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		stats, err := e.transport.Round(ctx, r)
+		if err != nil {
+			runErr = fed.CtxErr(ctx, err)
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			// The round was cut short; discard its partial state.
+			runErr = err
+			break
+		}
+		for phase, sec := range stats.Phases {
+			clock.Advance(simtime.Phase(phase), sec)
+		}
+		res.Rounds = r + 1
+		res.UplinkBytes += stats.UplinkBytes
+		score = env.Evaluate()
+		if score > res.Best {
+			res.Best = score
+		}
+		e.emit(res, RoundEvent{
+			Round:          r + 1,
+			Score:          score,
+			SimHours:       clock.Hours(),
+			Elapsed:        time.Since(start),
+			UplinkBytes:    stats.UplinkBytes,
+			ExpertsTouched: stats.ExpertsTouched,
+			Phases:         stats.Phases,
+		})
+		if target > 0 && score >= target {
+			res.TargetReached = true
+			break
+		}
+	}
+
+	closeErr := e.transport.Close()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	res.Final = score
+	res.SimHours = clock.Hours()
+	res.Elapsed = time.Since(start)
+	for p, v := range clock.Breakdown() {
+		res.Phases[string(p)] = v
+	}
+	return res, nil
+}

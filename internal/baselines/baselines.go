@@ -54,6 +54,9 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	var updates []fed.Update
 	var maxLocal, commMax, aggBytes float64
 	for i := 0; i < env.Cfg.Participants; i++ {
+		if env.Canceled() {
+			return nil
+		}
 		dev := env.Devices[i]
 		local := env.Global.Clone()
 		grads := moe.NewGrads(local, false)
@@ -81,7 +84,8 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		maxLocal = math.Max(maxLocal, trainSec+offloadSec)
 		commMax = math.Max(commMax, commSec)
 	}
-	fed.Aggregate(env.Global, updates)
+	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
+	env.ObserveUplink(aggBytes)
 	return map[simtime.Phase]float64{
 		simtime.PhaseFineTuning: maxLocal,
 		simtime.PhaseComm:       commMax + aggBytes/env.Cfg.ServerBw,
@@ -112,6 +116,9 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	var updates []fed.Update
 	var maxLocal, commMax, aggBytes float64
 	for i := 0; i < env.Cfg.Participants; i++ {
+		if env.Canceled() {
+			return nil
+		}
 		dev := env.Devices[i]
 		// The local working copy lives on the quantization grid.
 		local := moe.QuantizedClone(env.Global, bits)
@@ -140,7 +147,8 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		maxLocal = math.Max(maxLocal, trainSec+dev.QuantizeSeconds(cfg))
 		commMax = math.Max(commMax, commSec)
 	}
-	fed.Aggregate(env.Global, updates)
+	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
+	env.ObserveUplink(aggBytes)
 	return map[simtime.Phase]float64{
 		simtime.PhaseFineTuning: maxLocal,
 		simtime.PhaseComm:       commMax + aggBytes/env.Cfg.ServerBw,
@@ -177,6 +185,9 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	var updates []fed.Update
 	var maxLocal, commMax, profMax, aggBytes float64
 	for i := 0; i < env.Cfg.Participants; i++ {
+		if env.Canceled() {
+			return nil
+		}
 		dev := env.Devices[i]
 		// Serial profiling each round (FMES has no stale pipeline).
 		res := prof.Run(env.Global, env.Batch(i, round))
@@ -214,7 +225,8 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		profMax = math.Max(profMax, profSec)
 		commMax = math.Max(commMax, commSec)
 	}
-	fed.Aggregate(env.Global, updates)
+	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
+	env.ObserveUplink(aggBytes)
 	return map[simtime.Phase]float64{
 		simtime.PhaseProfiling:  profMax,
 		simtime.PhaseFineTuning: maxLocal,

@@ -3,10 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/baselines"
 	"repro/internal/data"
 	"repro/internal/fed"
-	"repro/internal/flux"
+	"repro/internal/methods"
 	"repro/internal/metrics"
 	"repro/internal/simtime"
 )
@@ -15,18 +14,11 @@ import (
 var methodNames = []string{"fmd", "fmq", "fmes", "flux"}
 
 func newRounder(name string, cfg fed.Config) fed.Rounder {
-	switch name {
-	case "fmd":
-		return baselines.FMD{}
-	case "fmq":
-		return baselines.NewFMQ()
-	case "fmes":
-		return baselines.NewFMES()
-	case "flux":
-		return flux.New(flux.DefaultOptions(cfg.MaxRounds), cfg.Participants)
-	default:
-		panic("experiments: unknown method " + name)
+	r, err := methods.New(name, cfg)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
+	return r
 }
 
 // convergenceRun executes (or recalls) one (model, dataset, method,

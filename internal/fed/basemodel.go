@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -26,6 +27,13 @@ var (
 //
 // The returned model is a private clone; callers may mutate it freely.
 func BaseModel(modelCfg moe.Config, cfg Config) (*moe.Model, error) {
+	return BaseModelContext(context.Background(), modelCfg, cfg)
+}
+
+// BaseModelContext is BaseModel with cancellation: pre-training polls the
+// context between steps, and a canceled construction returns the context's
+// error without populating the cache.
+func BaseModelContext(ctx context.Context, modelCfg moe.Config, cfg Config) (*moe.Model, error) {
 	key := fmt.Sprintf("%s/%d/%d/%g", modelCfg.Name, cfg.PretrainSteps, cfg.PretrainBatch, cfg.PretrainLR)
 	baseMu.Lock()
 	defer baseMu.Unlock()
@@ -43,8 +51,10 @@ func BaseModel(modelCfg moe.Config, cfg Config) (*moe.Model, error) {
 		seq, _ := s.FullSequence()
 		return seq
 	}
-	moe.Pretrain(model, sampler, cfg.PretrainSteps, cfg.PretrainBatch, cfg.PretrainLR,
-		tensor.Named("pretrain-run/"+modelCfg.Name))
+	if _, err := moe.PretrainContext(ctx, model, sampler, cfg.PretrainSteps, cfg.PretrainBatch, cfg.PretrainLR,
+		tensor.Named("pretrain-run/"+modelCfg.Name)); err != nil {
+		return nil, err // partially trained; do not cache
+	}
 	baseCache[key] = model
 	return model.Clone(), nil
 }

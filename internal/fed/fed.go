@@ -10,6 +10,7 @@
 package fed
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/data"
@@ -89,6 +90,49 @@ type Env struct {
 	Test    []*data.Sample
 	Devices []simtime.Device
 	RNG     *tensor.RNG
+
+	ctx context.Context
+	obs RoundObs
+}
+
+// RoundObs collects per-round observability counters that Rounders report
+// into: the payload bytes participants uploaded and the number of distinct
+// experts the server aggregated. The driver drains it after each round with
+// TakeRoundObs.
+type RoundObs struct {
+	UplinkBytes    float64
+	ExpertsTouched int
+}
+
+// SetContext attaches a cancellation context to the environment. Round
+// implementations poll Canceled between participants so a long round can be
+// abandoned promptly.
+func (e *Env) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// Context returns the attached context, never nil.
+func (e *Env) Context() context.Context {
+	if e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
+}
+
+// Canceled reports whether the attached context has been canceled.
+func (e *Env) Canceled() bool { return e.Context().Err() != nil }
+
+// ObserveUplink accumulates uploaded payload bytes for the current round.
+func (e *Env) ObserveUplink(bytes float64) { e.obs.UplinkBytes += bytes }
+
+// ObserveAggregated records how many distinct experts the current round's
+// aggregation touched.
+func (e *Env) ObserveAggregated(n int) { e.obs.ExpertsTouched = n }
+
+// TakeRoundObs returns the counters accumulated since the last call and
+// resets them.
+func (e *Env) TakeRoundObs() RoundObs {
+	o := e.obs
+	e.obs = RoundObs{}
+	return o
 }
 
 // NewEnv builds an environment: generates the synthetic dataset, pre-trains
@@ -97,6 +141,12 @@ type Env struct {
 //
 // seed names the experiment; everything downstream is deterministic in it.
 func NewEnv(modelCfg moe.Config, profile data.Profile, cfg Config, seed string) (*Env, error) {
+	return NewEnvContext(context.Background(), modelCfg, profile, cfg, seed)
+}
+
+// NewEnvContext is NewEnv with cancellation: base-model pre-training (the
+// expensive part of construction) polls the context between steps.
+func NewEnvContext(ctx context.Context, modelCfg moe.Config, profile data.Profile, cfg Config, seed string) (*Env, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,7 +157,7 @@ func NewEnv(modelCfg moe.Config, profile data.Profile, cfg Config, seed string) 
 	ds := data.Generate(profile, modelCfg.VocabSize, cfg.DatasetSize, root.Split("data"))
 	train, test := ds.Split(0.8, root.Split("split"))
 
-	model, err := BaseModel(modelCfg, cfg)
+	model, err := BaseModelContext(ctx, modelCfg, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -272,19 +322,40 @@ type Rounder interface {
 // MaxRounds elapse, recording a convergence curve against simulated time.
 // It returns the tracker and the final clock.
 func Run(env *Env, m Rounder, target float64) (*metrics.Tracker, *simtime.Clock) {
+	tr, clock, _ := RunContext(context.Background(), env, m, target)
+	return tr, clock
+}
+
+// RunContext is Run with cancellation: the context is attached to the
+// environment (so Rounders can abandon a round early) and checked between
+// rounds. On cancellation it returns the curve recorded so far along with
+// the context's error.
+func RunContext(ctx context.Context, env *Env, m Rounder, target float64) (*metrics.Tracker, *simtime.Clock, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	env.SetContext(ctx)
 	clock := simtime.NewClock()
 	tr := &metrics.Tracker{Target: env.Profile.MetricName}
 	tr.Record(0, clock.Hours(), env.Evaluate())
 	for r := 0; r < env.Cfg.MaxRounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return tr, clock, err
+		}
 		phases := m.Round(env, r)
+		if err := ctx.Err(); err != nil {
+			// The round was abandoned mid-way; its partial work is discarded.
+			return tr, clock, err
+		}
 		for p, sec := range phases {
 			clock.Advance(p, sec)
 		}
+		env.TakeRoundObs() // reset per-round counters for drivers that ignore them
 		score := env.Evaluate()
 		tr.Record(r+1, clock.Hours(), score)
 		if target > 0 && score >= target {
 			break
 		}
 	}
-	return tr, clock
+	return tr, clock, nil
 }

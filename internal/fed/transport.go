@@ -1,10 +1,14 @@
 package fed
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/moe"
@@ -13,11 +17,27 @@ import (
 // This file implements a real network deployment of the federated loop: a
 // parameter server and participants exchanging gob-encoded messages over
 // TCP. It exists so the system can actually be run as separate processes
-// (cmd/fluxserver, cmd/fluxclient, examples/federated_tcp), not only as the
-// in-process simulation the experiments use. The protocol is synchronous
-// rounds, mirroring Figure 4: server broadcasts the global model, each
-// participant fine-tunes its tuning experts locally and uploads them, the
-// server FedAvg-aggregates.
+// (cmd/fluxserver, cmd/fluxclient) or driven round-by-round by the public
+// SDK's TCP transport, not only as the in-process simulation the
+// experiments use. The protocol is synchronous rounds, mirroring Figure 4:
+// server broadcasts the global model, each participant fine-tunes its tuning
+// experts locally and uploads them, the server FedAvg-aggregates.
+//
+// The server is stepwise — Accept, then RunRound per round, then Finish —
+// so an external driver owns the round loop; Serve composes the steps for
+// standalone use. Every message exchange carries a read/write deadline and
+// the whole lifecycle honors context cancellation.
+
+// DefaultIOTimeout bounds a single message exchange (one gob encode or
+// decode) when the caller does not set an explicit timeout. It must cover
+// the slowest participant's local fine-tuning between two server messages.
+const DefaultIOTimeout = 2 * time.Minute
+
+// maxHelloTimeout caps how long Accept waits for a single connection's
+// Hello. A real client sends its Hello immediately after dialing, so this
+// can be far shorter than the round I/O timeout; a silent connection must
+// not stall fleet formation for minutes.
+const maxHelloTimeout = 10 * time.Second
 
 // Hello is the first message a participant sends after connecting.
 type Hello struct {
@@ -38,91 +58,243 @@ type UpdateMsg struct {
 	Experts     map[ExpertKey][]float64
 }
 
+type peer struct {
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	id      int
+	timeout time.Duration
+}
+
+func (p *peer) send(v any) error {
+	p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
+	return p.enc.Encode(v)
+}
+
+func (p *peer) recv(v any) error {
+	p.conn.SetReadDeadline(time.Now().Add(p.timeout))
+	return p.dec.Decode(v)
+}
+
+// RoundIO reports the wire traffic of one federated round.
+type RoundIO struct {
+	UpBytes   float64 // participant → server update payloads
+	DownBytes float64 // server → participant model broadcasts
+	Experts   int     // distinct experts aggregated this round
+}
+
 // Server coordinates federated fine-tuning over TCP.
 type Server struct {
 	Global  *moe.Model
-	Rounds  int
+	Rounds  int // rounds Serve runs; stepwise drivers may ignore it
 	Clients int // participants expected before training starts
+
+	// IOTimeout bounds every single message exchange (Hello, broadcast,
+	// update, final). Zero means DefaultIOTimeout.
+	IOTimeout time.Duration
+
+	mu    sync.Mutex
+	peers []*peer
+	round int // rounds completed, stamps the final broadcast
 }
 
-// Serve accepts s.Clients participants on ln, runs s.Rounds synchronous
-// rounds, and leaves the aggregated result in s.Global. It returns after
-// broadcasting the final model.
-func (s *Server) Serve(ln net.Listener) error {
-	type peer struct {
-		conn net.Conn
-		enc  *gob.Encoder
-		dec  *gob.Decoder
-		id   int
+func (s *Server) timeout() time.Duration {
+	if s.IOTimeout > 0 {
+		return s.IOTimeout
 	}
-	peers := make([]*peer, 0, s.Clients)
-	for len(peers) < s.Clients {
-		conn, err := ln.Accept()
-		if err != nil {
-			return fmt.Errorf("fed: accept: %w", err)
-		}
-		p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-		var h Hello
-		if err := p.dec.Decode(&h); err != nil {
-			conn.Close()
-			return fmt.Errorf("fed: hello: %w", err)
-		}
-		p.id = h.Participant
-		peers = append(peers, p)
+	return DefaultIOTimeout
+}
+
+func (s *Server) peersSnapshot() []*peer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*peer(nil), s.peers...)
+}
+
+func (s *Server) closePeers() {
+	for _, p := range s.peersSnapshot() {
+		p.conn.Close()
 	}
-	defer func() {
+}
+
+// CtxErr prefers the context's error (the caller canceled) over the I/O
+// error it caused (a closed connection).
+func CtxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// Accept waits until s.Clients distinct participants have joined on ln. A
+// connection whose Hello carries an already-claimed participant id is
+// rejected (closed) and does not count; a connection that fails to deliver
+// a Hello within the I/O timeout is dropped the same way. Peers are ordered
+// by participant id so aggregation order — and therefore floating-point
+// accumulation — is deterministic regardless of connection order.
+func (s *Server) Accept(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+
+	seen := make(map[int]bool)
+	var peers []*peer
+	fail := func(err error) error {
 		for _, p := range peers {
 			p.conn.Close()
 		}
-	}()
-
-	for r := 0; r < s.Rounds; r++ {
-		blob, err := s.Global.EncodeBytes()
-		if err != nil {
-			return err
-		}
-		msg := RoundMsg{Round: r, Model: blob}
-		for _, p := range peers {
-			if err := p.enc.Encode(msg); err != nil {
-				return fmt.Errorf("fed: send round %d to %d: %w", r, p.id, err)
-			}
-		}
-		// Collect updates concurrently; all must arrive (synchronous rounds).
-		updates := make([]Update, len(peers))
-		var wg sync.WaitGroup
-		errs := make([]error, len(peers))
-		for i, p := range peers {
-			wg.Add(1)
-			go func(i int, p *peer) {
-				defer wg.Done()
-				var u UpdateMsg
-				if err := p.dec.Decode(&u); err != nil {
-					errs[i] = fmt.Errorf("fed: update from %d: %w", p.id, err)
-					return
-				}
-				updates[i] = Update{Participant: u.Participant, Weight: u.Weight, Experts: u.Experts}
-			}(i, p)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return err
-			}
-		}
-		Aggregate(s.Global, updates)
+		return CtxErr(ctx, err)
 	}
+	for len(peers) < s.Clients {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("fed: accept: %w", err))
+		}
+		p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), timeout: s.timeout()}
+		stopConn := context.AfterFunc(ctx, func() { conn.Close() })
+		helloTimeout := min(s.timeout(), maxHelloTimeout)
+		conn.SetReadDeadline(time.Now().Add(helloTimeout))
+		var h Hello
+		err = p.dec.Decode(&h)
+		stopConn()
+		if err != nil {
+			// A connection that cannot produce a Hello in time must not
+			// stall the fleet; drop it and keep listening.
+			conn.Close()
+			if ctx.Err() != nil {
+				return fail(fmt.Errorf("fed: hello: %w", err))
+			}
+			continue
+		}
+		if seen[h.Participant] {
+			// Duplicate participant id: reject the newcomer.
+			conn.Close()
+			continue
+		}
+		seen[h.Participant] = true
+		p.id = h.Participant
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].id < peers[j].id })
+	s.mu.Lock()
+	s.peers = peers
+	s.mu.Unlock()
+	return nil
+}
+
+// RunRound executes synchronous round r: broadcast the global model, collect
+// one update from every participant, FedAvg-aggregate. Cancelling ctx closes
+// the peer connections, aborting in-flight exchanges promptly.
+func (s *Server) RunRound(ctx context.Context, r int) (RoundIO, error) {
+	peers := s.peersSnapshot()
+	if len(peers) == 0 {
+		return RoundIO{}, errors.New("fed: RunRound before Accept")
+	}
+	stop := context.AfterFunc(ctx, s.closePeers)
+	defer stop()
+
+	blob, err := s.Global.EncodeBytes()
+	if err != nil {
+		return RoundIO{}, err
+	}
+	var io RoundIO
+	msg := RoundMsg{Round: r, Model: blob}
+	for _, p := range peers {
+		if err := p.send(msg); err != nil {
+			return io, CtxErr(ctx, fmt.Errorf("fed: send round %d to %d: %w", r, p.id, err))
+		}
+		io.DownBytes += float64(len(blob))
+	}
+
+	// Collect updates concurrently; all must arrive (synchronous rounds).
+	updates := make([]Update, len(peers))
+	var wg sync.WaitGroup
+	errs := make([]error, len(peers))
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			var u UpdateMsg
+			if err := p.recv(&u); err != nil {
+				errs[i] = fmt.Errorf("fed: update from %d: %w", p.id, err)
+				return
+			}
+			updates[i] = Update{Participant: u.Participant, Weight: u.Weight, Experts: u.Experts}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return io, CtxErr(ctx, err)
+		}
+	}
+	for _, u := range updates {
+		io.UpBytes += UpdateBytes(u)
+	}
+	io.Experts = Aggregate(s.Global, updates)
+	s.mu.Lock()
+	s.round = r + 1
+	s.mu.Unlock()
+	return io, nil
+}
+
+// Finish broadcasts the final global model, releasing every participant,
+// and closes the connections.
+func (s *Server) Finish(ctx context.Context) error {
+	peers := s.peersSnapshot()
+	defer s.Close()
+	stop := context.AfterFunc(ctx, s.closePeers)
+	defer stop()
 
 	blob, err := s.Global.EncodeBytes()
 	if err != nil {
 		return err
 	}
-	final := RoundMsg{Round: s.Rounds, Final: true, Model: blob}
+	s.mu.Lock()
+	final := RoundMsg{Round: s.round, Final: true, Model: blob}
+	s.mu.Unlock()
 	for _, p := range peers {
-		if err := p.enc.Encode(final); err != nil {
-			return fmt.Errorf("fed: final to %d: %w", p.id, err)
+		if err := p.send(final); err != nil {
+			return CtxErr(ctx, fmt.Errorf("fed: final to %d: %w", p.id, err))
 		}
 	}
 	return nil
+}
+
+// Close drops all peer connections. It is safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	peers := s.peers
+	s.peers = nil
+	s.mu.Unlock()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	return nil
+}
+
+// ServeContext accepts s.Clients participants on ln, runs s.Rounds
+// synchronous rounds, and leaves the aggregated result in s.Global. It
+// returns after broadcasting the final model, or early with the context's
+// error if canceled.
+func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
+	if err := s.Accept(ctx, ln); err != nil {
+		return err
+	}
+	defer s.Close()
+	for r := 0; r < s.Rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := s.RunRound(ctx, r); err != nil {
+			return err
+		}
+	}
+	return s.Finish(ctx)
+}
+
+// Serve is ServeContext without cancellation.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.ServeContext(context.Background(), ln)
 }
 
 // ClientConfig configures a TCP participant.
@@ -136,28 +308,47 @@ type ClientConfig struct {
 	// TuneExperts limits fine-tuning to the given per-layer expert ids;
 	// nil fine-tunes every expert.
 	TuneExperts [][]int
+	// IOTimeout bounds every single message exchange; zero means
+	// DefaultIOTimeout.
+	IOTimeout time.Duration
+}
+
+func (cfg ClientConfig) timeout() time.Duration {
+	if cfg.IOTimeout > 0 {
+		return cfg.IOTimeout
+	}
+	return DefaultIOTimeout
 }
 
 // RunClient joins the server at cfg.Addr and participates until the final
 // model arrives, which it returns.
 func RunClient(cfg ClientConfig) (*moe.Model, error) {
+	return RunClientContext(context.Background(), cfg)
+}
+
+// RunClientContext is RunClient with cancellation: cancelling ctx closes the
+// connection, aborting whatever exchange or wait is in flight.
+func RunClientContext(ctx context.Context, cfg ClientConfig) (*moe.Model, error) {
 	if len(cfg.Shard) == 0 {
 		return nil, fmt.Errorf("fed: client %d has no data", cfg.Participant)
 	}
-	conn, err := net.Dial("tcp", cfg.Addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
-		return nil, err
+		return nil, CtxErr(ctx, err)
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(Hello{Participant: cfg.Participant}); err != nil {
-		return nil, err
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), timeout: cfg.timeout()}
+	if err := p.send(Hello{Participant: cfg.Participant}); err != nil {
+		return nil, CtxErr(ctx, err)
 	}
 	for {
 		var msg RoundMsg
-		if err := dec.Decode(&msg); err != nil {
-			return nil, fmt.Errorf("fed: client %d recv: %w", cfg.Participant, err)
+		if err := p.recv(&msg); err != nil {
+			return nil, CtxErr(ctx, fmt.Errorf("fed: client %d recv: %w", cfg.Participant, err))
 		}
 		model, err := moe.DecodeBytes(msg.Model)
 		if err != nil {
@@ -172,8 +363,8 @@ func RunClient(cfg ClientConfig) (*moe.Model, error) {
 		}
 		localTrain(model, cfg, msg.Round)
 		u := ExtractUpdate(model, cfg.Participant, float64(len(cfg.Shard)), tuning)
-		if err := enc.Encode(UpdateMsg{Participant: u.Participant, Weight: u.Weight, Experts: u.Experts}); err != nil {
-			return nil, err
+		if err := p.send(UpdateMsg{Participant: u.Participant, Weight: u.Weight, Experts: u.Experts}); err != nil {
+			return nil, CtxErr(ctx, err)
 		}
 	}
 }

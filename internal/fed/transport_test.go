@@ -1,9 +1,13 @@
 package fed
 
 import (
+	"context"
+	"encoding/gob"
+	"errors"
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/moe"
@@ -120,5 +124,160 @@ func TestTCPTuningSubset(t *testing.T) {
 	}
 	if !global.Layers[0].Experts[3].W1.Equal(frozen, 0) {
 		t.Fatal("expert outside the tuning subset was aggregated")
+	}
+}
+
+// dialHello opens a raw gob connection and sends a Hello with the given id.
+func dialHello(t *testing.T, addr string, id int) (net.Conn, *gob.Decoder) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(conn).Encode(Hello{Participant: id}); err != nil {
+		t.Fatal(err)
+	}
+	return conn, gob.NewDecoder(conn)
+}
+
+func TestServeRejectsDuplicateHello(t *testing.T) {
+	modelCfg := moe.Uniform("tcp-dup", 48, 12, 16, 1, 2, 1, 32)
+	global := moe.MustNew(modelCfg, tensor.Named("tcp-dup"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srv := &Server{Global: global, Rounds: 0, Clients: 2, IOTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	conn0, dec0 := dialHello(t, ln.Addr().String(), 0)
+	defer conn0.Close()
+	dup, dupDec := dialHello(t, ln.Addr().String(), 0) // same participant id
+	defer dup.Close()
+
+	// The duplicate's connection must be closed without ever receiving a
+	// round message.
+	var dupMsg RoundMsg
+	dup.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := dupDec.Decode(&dupMsg); err == nil {
+		t.Fatal("duplicate participant received a broadcast")
+	}
+
+	// A distinct id completes the fleet and the deployment proceeds.
+	conn1, dec1 := dialHello(t, ln.Addr().String(), 1)
+	defer conn1.Close()
+	for _, dec := range []*gob.Decoder{dec0, dec1} {
+		var msg RoundMsg
+		if err := dec.Decode(&msg); err != nil {
+			t.Fatal(err)
+		}
+		if !msg.Final {
+			t.Fatal("expected the final broadcast (0-round deployment)")
+		}
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptDropsSilentConnection(t *testing.T) {
+	modelCfg := moe.Uniform("tcp-silent", 48, 12, 16, 1, 2, 1, 32)
+	global := moe.MustNew(modelCfg, tensor.Named("tcp-silent"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srv := &Server{Global: global, Clients: 1, IOTimeout: 200 * time.Millisecond}
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- srv.Accept(context.Background(), ln) }()
+
+	// A connection that never sends a Hello must not stall the fleet.
+	silent, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	time.Sleep(250 * time.Millisecond) // let the hello deadline expire
+
+	conn, _ := dialHello(t, ln.Addr().String(), 0)
+	defer conn.Close()
+	select {
+	case err := <-acceptErr:
+		if err != nil {
+			t.Fatalf("accept failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept did not complete after the silent connection")
+	}
+	srv.Close()
+}
+
+func TestServeContextCancelDuringAccept(t *testing.T) {
+	modelCfg := moe.Uniform("tcp-cancel", 48, 12, 16, 1, 2, 1, 32)
+	global := moe.MustNew(modelCfg, tensor.Named("tcp-cancel"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &Server{Global: global, Rounds: 3, Clients: 2}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ServeContext(ctx, ln) }()
+
+	cancel()
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not return after cancellation")
+	}
+}
+
+func TestRunClientContextCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		// Accept and hold the connection without ever broadcasting.
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			var h Hello
+			gob.NewDecoder(conn).Decode(&h)
+			time.Sleep(10 * time.Second)
+		}
+	}()
+
+	ds := data.Generate(data.GSM8K(), 48, 8, tensor.NewRNG(7))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunClientContext(ctx, ClientConfig{
+			Participant: 0,
+			Addr:        ln.Addr().String(),
+			Shard:       ds.Samples,
+		})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not return after cancellation")
 	}
 }

@@ -95,6 +95,10 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	var aggBytes float64
 
 	for i := 0; i < env.Cfg.Participants; i++ {
+		if env.Canceled() {
+			// Abandon the round: the caller discards partial work.
+			return nil
+		}
 		dev := env.Devices[i]
 		rng := env.RNG.Split(fmt.Sprintf("p%d/r%d", i, round))
 
@@ -176,7 +180,8 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		commMax = math.Max(commMax, commSec)
 	}
 
-	fed.Aggregate(env.Global, updates)
+	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
+	env.ObserveUplink(aggBytes)
 	serverSec := aggBytes / env.Cfg.ServerBw
 
 	return map[simtime.Phase]float64{

@@ -1,6 +1,10 @@
 package moe
 
-import "repro/internal/tensor"
+import (
+	"context"
+
+	"repro/internal/tensor"
+)
 
 // Pretrain trains the model's embedding, head, and experts (gates and
 // attention stay at their random initialization, as discussed in DESIGN.md)
@@ -11,9 +15,21 @@ import "repro/internal/tensor"
 // weights, and it lets expert specialization emerge so activation patterns
 // are non-uniform — the property all of Flux's mechanisms depend on.
 func Pretrain(m *Model, sampler func(*tensor.RNG) []int, steps, batch int, lr float64, g *tensor.RNG) []float64 {
+	losses, _ := PretrainContext(context.Background(), m, sampler, steps, batch, lr, g)
+	return losses
+}
+
+// PretrainContext is Pretrain with cancellation: the context is polled
+// between steps, and on cancellation the partial loss curve is returned
+// along with the context's error (the model is mid-training and should be
+// discarded).
+func PretrainContext(ctx context.Context, m *Model, sampler func(*tensor.RNG) []int, steps, batch int, lr float64, g *tensor.RNG) ([]float64, error) {
 	grads := NewGrads(m, true)
 	losses := make([]float64, 0, steps)
 	for s := 0; s < steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return losses, err
+		}
 		var loss float64
 		for b := 0; b < batch; b++ {
 			seq := sampler(g)
@@ -22,5 +38,5 @@ func Pretrain(m *Model, sampler func(*tensor.RNG) []int, steps, batch int, lr fl
 		m.ApplySGD(grads, lr/float64(batch))
 		losses = append(losses, loss/float64(batch))
 	}
-	return losses
+	return losses, nil
 }

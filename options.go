@@ -1,0 +1,189 @@
+package flux
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/methods"
+	"repro/internal/moe"
+)
+
+// Config is the fully resolved configuration of an Experiment. Zero values
+// are filled from DefaultConfig by New; use the With* functional options to
+// override individual settings.
+type Config struct {
+	Method  string // federated fine-tuning method; see Methods
+	Dataset string // synthetic dataset profile: dolly | gsm8k | mmlu | piqa
+	Model   string // MoE architecture: llama | deepseek
+	Seed    string // names the experiment; everything downstream is deterministic in it
+
+	Rounds          int // synchronous federated rounds
+	Participants    int
+	Batch           int // samples per participant per round
+	LocalIters      int // local passes over the batch per round
+	LR              float64
+	Alpha           float64 // Dirichlet non-IID concentration
+	DatasetSize     int
+	EvalSubset      int // test samples per evaluation
+	PretrainSteps   int
+	ServerBandwidth float64 // parameter-server ingest/egress bytes/s
+
+	// Target stops the run early once the evaluation score reaches it;
+	// zero runs the full round budget. UseDatasetTarget substitutes the
+	// dataset profile's calibrated time-to-accuracy target.
+	Target           float64
+	UseDatasetTarget bool
+}
+
+// DefaultConfig returns the paper-shaped defaults: the Flux method on the
+// synthetic GSM8K profile over the reduced LLaMA-MoE architecture, with the
+// engine settings of §8.1.
+func DefaultConfig() Config {
+	f := fed.DefaultConfig()
+	return Config{
+		Method:          "flux",
+		Dataset:         "gsm8k",
+		Model:           "llama",
+		Seed:            "flux",
+		Rounds:          f.MaxRounds,
+		Participants:    f.Participants,
+		Batch:           f.Batch,
+		LocalIters:      f.LocalIters,
+		LR:              f.LR,
+		Alpha:           f.Alpha,
+		DatasetSize:     f.DatasetSize,
+		EvalSubset:      f.EvalSubset,
+		PretrainSteps:   f.PretrainSteps,
+		ServerBandwidth: f.ServerBw,
+	}
+}
+
+// Models returns the supported MoE architecture names.
+func Models() []string { return []string{"llama", "deepseek"} }
+
+func modelConfigByName(name string) (moe.Config, error) {
+	switch name {
+	case "llama":
+		return moe.SimConfigLLaMATrain(), nil
+	case "deepseek":
+		return moe.SimConfigDeepSeekTrain(), nil
+	default:
+		return moe.Config{}, fmt.Errorf("flux: unknown model %q (known: %v)", name, Models())
+	}
+}
+
+// fedConfig lowers the public configuration onto the engine's.
+func (c Config) fedConfig() fed.Config {
+	f := fed.DefaultConfig()
+	f.Participants = c.Participants
+	f.Batch = c.Batch
+	f.LocalIters = c.LocalIters
+	f.LR = c.LR
+	f.Alpha = c.Alpha
+	f.DatasetSize = c.DatasetSize
+	f.EvalSubset = c.EvalSubset
+	f.MaxRounds = c.Rounds
+	f.PretrainSteps = c.PretrainSteps
+	f.ServerBw = c.ServerBandwidth
+	return f
+}
+
+// Validate reports the first invalid setting, or nil.
+func (c Config) Validate() error {
+	if _, ok := methods.Get(c.Method); !ok {
+		return fmt.Errorf("flux: unknown method %q (known: %v)", c.Method, methods.Names())
+	}
+	if _, err := data.ProfileByName(c.Dataset); err != nil {
+		return fmt.Errorf("flux: %w", err)
+	}
+	if _, err := modelConfigByName(c.Model); err != nil {
+		return err
+	}
+	if c.Seed == "" {
+		return fmt.Errorf("flux: seed must be non-empty")
+	}
+	if c.Target < 0 {
+		return fmt.Errorf("flux: target %v must be non-negative", c.Target)
+	}
+	if err := c.fedConfig().Validate(); err != nil {
+		return fmt.Errorf("flux: %w", err)
+	}
+	return nil
+}
+
+// Option customizes an Experiment under construction.
+type Option func(*Experiment)
+
+// WithMethod selects the federated fine-tuning method by registry name.
+func WithMethod(name string) Option { return func(e *Experiment) { e.cfg.Method = name } }
+
+// WithDataset selects the synthetic dataset profile by name.
+func WithDataset(name string) Option { return func(e *Experiment) { e.cfg.Dataset = name } }
+
+// WithModel selects the MoE architecture ("llama" or "deepseek").
+func WithModel(name string) Option { return func(e *Experiment) { e.cfg.Model = name } }
+
+// WithSeed names the experiment; runs with equal seeds and settings are
+// bit-identical.
+func WithSeed(seed string) Option { return func(e *Experiment) { e.cfg.Seed = seed } }
+
+// WithRounds sets the synchronous round budget.
+func WithRounds(n int) Option { return func(e *Experiment) { e.cfg.Rounds = n } }
+
+// WithParticipants sets the fleet size.
+func WithParticipants(n int) Option { return func(e *Experiment) { e.cfg.Participants = n } }
+
+// WithBatch sets the per-participant mini-batch size.
+func WithBatch(n int) Option { return func(e *Experiment) { e.cfg.Batch = n } }
+
+// WithLocalIters sets local passes over the batch per round.
+func WithLocalIters(n int) Option { return func(e *Experiment) { e.cfg.LocalIters = n } }
+
+// WithLearningRate sets the local SGD learning rate.
+func WithLearningRate(lr float64) Option { return func(e *Experiment) { e.cfg.LR = lr } }
+
+// WithAlpha sets the Dirichlet non-IID concentration of the data partition.
+func WithAlpha(a float64) Option { return func(e *Experiment) { e.cfg.Alpha = a } }
+
+// WithDatasetSize sets the synthetic dataset's sample count.
+func WithDatasetSize(n int) Option { return func(e *Experiment) { e.cfg.DatasetSize = n } }
+
+// WithEvalSubset caps the held-out samples scored per evaluation.
+func WithEvalSubset(n int) Option { return func(e *Experiment) { e.cfg.EvalSubset = n } }
+
+// WithPretrainSteps sets base-model pre-training steps (more = better base
+// model, slower first construction; the base model is cached per setting).
+func WithPretrainSteps(n int) Option { return func(e *Experiment) { e.cfg.PretrainSteps = n } }
+
+// WithServerBandwidth sets the parameter server's shared bandwidth in
+// bytes/s, the term that produces diminishing scalability returns.
+func WithServerBandwidth(bw float64) Option {
+	return func(e *Experiment) { e.cfg.ServerBandwidth = bw }
+}
+
+// WithTarget stops the run early once the evaluation score reaches acc.
+func WithTarget(acc float64) Option {
+	return func(e *Experiment) { e.cfg.Target = acc; e.cfg.UseDatasetTarget = false }
+}
+
+// WithDatasetTarget stops the run early at the dataset profile's calibrated
+// time-to-accuracy target.
+func WithDatasetTarget() Option { return func(e *Experiment) { e.cfg.UseDatasetTarget = true } }
+
+// WithConfig replaces the whole configuration; later options still apply on
+// top.
+func WithConfig(cfg Config) Option { return func(e *Experiment) { e.cfg = cfg } }
+
+// WithTransport selects the execution substrate; the default is InProcess.
+func WithTransport(t Transport) Option { return func(e *Experiment) { e.transport = t } }
+
+// WithRoundEvents registers a callback invoked synchronously after the
+// baseline evaluation (round 0) and after every completed round.
+func WithRoundEvents(fn EventHandler) Option {
+	return func(e *Experiment) {
+		if fn != nil {
+			e.handlers = append(e.handlers, fn)
+		}
+	}
+}

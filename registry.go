@@ -1,0 +1,45 @@
+package flux
+
+import (
+	"repro/internal/fed"
+	"repro/internal/methods"
+)
+
+// MethodInfo describes one registered federated fine-tuning method.
+type MethodInfo struct {
+	Name        string
+	Description string
+	// TCPCapable reports whether the method can run over the TCP transport
+	// (its per-round behavior is exactly the synchronous FedAvg wire
+	// protocol). Every method runs on the InProcess transport.
+	TCPCapable bool
+}
+
+// Methods returns the registered methods in registration order; the
+// built-ins are "flux", "fmd", "fmq", and "fmes".
+func Methods() []MethodInfo {
+	var out []MethodInfo
+	for _, m := range methods.All() {
+		out = append(out, MethodInfo{Name: m.Name, Description: m.Description, TCPCapable: m.Wire})
+	}
+	return out
+}
+
+// RegisterMethod adds a custom method to the registry under name, making it
+// selectable with WithMethod everywhere — the SDK, the experiment harness,
+// and the CLIs. The constructor receives the engine configuration (round
+// budget, fleet size) and returns the rounder that will execute each
+// synchronous round. Registering an already-taken name is an error.
+//
+// Note: the constructor signature names engine types that live under
+// internal/, so writing a new method currently requires code inside this
+// module; selecting methods by name is fully public. Hoisting the engine
+// interfaces to the public surface is a planned follow-up (see ROADMAP.md).
+func RegisterMethod(name, description string, tcpCapable bool, ctor func(cfg fed.Config) fed.Rounder) error {
+	return methods.Register(methods.Method{
+		Name:        name,
+		Description: description,
+		Wire:        tcpCapable,
+		New:         ctor,
+	})
+}

@@ -1,0 +1,23 @@
+package flux
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// Experiments returns the ids of the paper's tables and figures in
+// presentation order ("table1", "figure1", ... "figure20").
+func Experiments() []string { return experiments.Order() }
+
+// RunExperiment regenerates one table or figure of the paper's evaluation
+// and writes the rendered result to w. Quick mode shrinks rounds and sample
+// counts (same workload shapes) so the whole suite completes in minutes.
+func RunExperiment(id string, quick bool, w io.Writer) error {
+	tab, err := experiments.Run(id, experiments.Options{Quick: quick})
+	if err != nil {
+		return err
+	}
+	tab.Fprint(w)
+	return nil
+}
