@@ -36,7 +36,11 @@ func baseModelContext(ctx context.Context, model string, pretrainSteps int) (*mo
 // ServerConfig configures a cross-machine parameter-server deployment
 // (cmd/fluxserver wraps this).
 type ServerConfig struct {
-	Addr          string // listen address; default 127.0.0.1:7700
+	Addr string // listen address; default 127.0.0.1:7700
+	// Listener, if non-nil, is used instead of listening on Addr; Serve
+	// takes ownership and closes it. It exists so tests and embedders can
+	// serve on an ephemeral port they already know.
+	Listener      net.Listener
 	Clients       int    // participants to wait for
 	Rounds        int    // synchronous federated rounds
 	Model         string // "llama" (default) or "deepseek"
@@ -64,6 +68,11 @@ func Serve(ctx context.Context, cfg ServerConfig) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.Listener != nil {
+		// Ownership is unconditional: the injected listener is closed even
+		// when validation or base-model construction fails before serving.
+		defer cfg.Listener.Close()
+	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:7700"
 	}
@@ -80,11 +89,14 @@ func Serve(ctx context.Context, cfg ServerConfig) error {
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return err
+	ln := cfg.Listener
+	if ln == nil {
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
 	}
-	defer ln.Close()
 	cfg.logf("flux: serving on %s, waiting for %d participants", ln.Addr(), cfg.Clients)
 
 	srv := &fed.Server{Global: model, Rounds: cfg.Rounds, Clients: cfg.Clients, IOTimeout: cfg.IOTimeout}

@@ -17,6 +17,16 @@
 //   - A method registry: Methods lists the available federated fine-tuning
 //     methods ("flux", "fmd", "fmq", "fmes"); RegisterMethod adds more.
 //
+// Both extension points are fully public. A custom method implements
+// Rounder against Env and EngineConfig — one synchronous round of training
+// over env.Batch, ExtractUpdate, and Aggregate — and registers with
+// RegisterMethod; a custom execution substrate implements Transport. Neither
+// requires code inside this module: examples/external_method is a complete
+// method in its own Go module, and package fluxtest is the conformance
+// suite (determinism, cancellation, aggregation order, event-stream shape,
+// wire equivalence) that both third-party plugins and the built-ins here
+// are tested against.
+//
 // Per-round accuracy, simulated time, and wire traffic stream out through
 // RoundEvent callbacks (WithRoundEvents). Serve and Join run the
 // cross-machine parameter-server deployment that cmd/fluxserver and

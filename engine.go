@@ -1,0 +1,174 @@
+package flux
+
+import (
+	"context"
+
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/moe"
+	"repro/internal/simtime"
+	"repro/internal/tensor"
+)
+
+// This file is the public face of the federated engine: everything a module
+// outside this repository needs to implement a custom method (Rounder) or a
+// custom execution substrate (Transport) without importing internal/
+// packages. The engine itself lives under internal/fed; the names here are
+// aliases and thin wrappers over it, so a value built through this surface
+// is the same value the built-in methods, both transports, and the
+// experiment harness operate on — no translation layer, no drift.
+//
+// A method implementation typically looks like the synchronous FedAvg loop:
+// for each participant, clone the global model (env.Global.Clone), run local
+// SGD over env.Batch(i, r) with NewGrads/ForwardBackward/ApplySGD, extract
+// the tuned experts with ExtractUpdate, then fold all updates back with
+// Aggregate and report per-phase simulated seconds. See
+// examples/external_method for a complete out-of-module method, and package
+// fluxtest for the conformance suite every implementation should pass.
+
+// EngineConfig is the engine-level configuration a Rounder constructor
+// receives: fleet size, round budget, local-SGD settings, and the simulated
+// parameter-server bandwidth. It is the resolved, engine-shaped counterpart
+// of the SDK's Config (Config.Rounds arrives as MaxRounds).
+type EngineConfig = fed.Config
+
+// DefaultEngineConfig returns the engine settings used by the paper-shaped
+// experiments (§8.1).
+func DefaultEngineConfig() EngineConfig { return fed.DefaultConfig() }
+
+// Env is a fully materialized federated experiment: the pre-trained global
+// model, per-participant non-IID shards and device profiles, a held-out test
+// set, and per-round observability counters. Rounders mutate env.Global in
+// place and report traffic through ObserveUplink/ObserveAggregated; drivers
+// score progress with Evaluate. Build one with NewEnv, or let Experiment.Run
+// build it for you.
+type Env = fed.Env
+
+// Rounder is a federated fine-tuning method: it executes one synchronous
+// round, mutating env.Global, and returns the simulated duration of the
+// round broken down by Phase. Implementations must be deterministic in the
+// environment's seed, must poll env.Canceled between participants so a long
+// round can be abandoned promptly, and must aggregate participants in a
+// fixed order so floating-point accumulation is reproducible. Package
+// fluxtest checks all of these contracts.
+type Rounder = fed.Rounder
+
+// Update is one participant's contribution to a round: the flattened
+// parameters of each expert it fine-tuned plus its FedAvg weight.
+type Update = fed.Update
+
+// ExpertKey identifies an expert by layer and original index.
+type ExpertKey = fed.ExpertKey
+
+// Model is the trainable MoE transformer substrate participants fine-tune.
+type Model = moe.Model
+
+// Expert is one feed-forward expert of a Model (see Model.ExpertAt).
+type Expert = moe.Expert
+
+// Grads is a gradient accumulator over a Model's trainable parameters;
+// build one with NewGrads.
+type Grads = moe.Grads
+
+// Sample is one synthetic task sample; env.Batch and env.Shards hand these
+// to method implementations.
+type Sample = data.Sample
+
+// DatasetProfile describes a synthetic dataset (env.Profile).
+type DatasetProfile = data.Profile
+
+// DeviceProfile models one participant's hardware (env.Devices[i]); its
+// Seconds/UplinkSeconds/OffloadSeconds methods price the operations a round
+// performs, for the simulated-time breakdown a Rounder returns.
+type DeviceProfile = simtime.Device
+
+// RNG is the deterministic random stream of an environment (env.RNG).
+type RNG = tensor.RNG
+
+// Phase labels a component of simulated round time in the map a Rounder
+// returns and in RoundEvent.Phases.
+type Phase = simtime.Phase
+
+// The canonical round phases. Custom methods may introduce their own Phase
+// values; these are the ones the built-ins report and the paper's overhead
+// breakdown (Figure 20) charts.
+const (
+	PhaseProfiling  = simtime.PhaseProfiling
+	PhaseMerging    = simtime.PhaseMerging
+	PhaseAssignment = simtime.PhaseAssignment
+	PhaseFineTuning = simtime.PhaseFineTuning
+	PhaseComm       = simtime.PhaseComm
+)
+
+// NewEnv materializes the federated environment cfg describes: synthesizes
+// the dataset, pre-trains the base model (cached per architecture and
+// pre-training settings), partitions training data non-IID, and assigns
+// device profiles. The returned environment carries a method-specific RNG
+// stream derived from cfg.Method, so different methods compared under the
+// same seed start from identical state but draw independent randomness.
+//
+// Experiment.Run does this internally; NewEnv exists so method authors can
+// drive a Rounder directly — fluxtest uses it for its conformance checks.
+func NewEnv(ctx context.Context, cfg Config) (*Env, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	modelCfg, err := modelConfigByName(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := data.ProfileByName(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	env, err := fed.NewEnvContext(ctx, modelCfg, profile, cfg.EngineConfig(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return env.CloneForMethod(cfg.Method), nil
+}
+
+// NewGrads returns a full-precision gradient accumulator for m, for the
+// NewGrads → ForwardBackward → ApplySGD local-training loop.
+func NewGrads(m *Model) *Grads { return moe.NewGrads(m, false) }
+
+// TuneAllExperts returns per-layer expert-id lists naming every expert of m
+// — the tuning set of a full-model method, and exactly what the TCP wire
+// protocol fine-tunes by default.
+func TuneAllExperts(m *Model) [][]int { return fed.IdentityTuning(m.Cfg) }
+
+// ExtractUpdate collects the current parameters of the given tuning experts
+// (per-layer id lists, as produced by TuneAllExperts) from a participant's
+// local model, weighted for FedAvg by its sample count.
+func ExtractUpdate(local *Model, participant int, weight float64, tuning [][]int) Update {
+	return fed.ExtractUpdate(local, participant, weight, tuning)
+}
+
+// Aggregate applies FedAvg to the global model: every expert touched by at
+// least one update becomes the weight-averaged participant parameters;
+// untouched experts keep their values. It returns the number of distinct
+// experts updated — report it via env.ObserveAggregated.
+func Aggregate(global *Model, updates []Update) int {
+	return fed.Aggregate(global, updates)
+}
+
+// UpdateBytes returns the FP32 wire size of an update — report the per-round
+// sum via env.ObserveUplink.
+func UpdateBytes(u Update) float64 { return fed.UpdateBytes(u) }
+
+// TrainFlops returns the arithmetic cost of local training over tokens
+// tokens on m, with tuningFrac the trainable fraction of expert compute;
+// divide by a DeviceProfile's throughput via its Seconds method.
+func TrainFlops(m *Model, tokens int, tuningFrac float64) float64 {
+	return simtime.TrainFlops(m.Cfg, tokens, tuningFrac)
+}
+
+// ModelBytes returns the FP32 size of the full model, the downlink payload
+// of a round broadcast.
+func ModelBytes(m *Model) float64 { return simtime.ModelBytes(m.Cfg) }
+
+// ExpertBytes returns the FP32 size of one expert of m.
+func ExpertBytes(m *Model) float64 { return simtime.ExpertBytes(m.Cfg) }

@@ -1,0 +1,11 @@
+// This is a standalone module, deliberately outside the repro module: it
+// proves that a federated fine-tuning method can be implemented, registered,
+// and conformance-tested using only flux's public API. CI builds and tests
+// it as its own module.
+module example.com/fluxmethod
+
+go 1.24
+
+require repro v0.0.0
+
+replace repro => ../..

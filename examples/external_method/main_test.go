@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	flux "repro"
+	"repro/fluxtest"
+)
+
+// TestFedAvgLiteConformance runs the out-of-module method through the
+// conformance suite. Wire: true makes the suite execute it on both the
+// in-process and the TCP transport and require bit-identical convergence —
+// the acceptance bar for a public-API method.
+func TestFedAvgLiteConformance(t *testing.T) {
+	if err := register(); err != nil {
+		t.Fatal(err)
+	}
+	fluxtest.TestRounder(t, fluxtest.RounderSpec{
+		Name:       "fedavg-lite",
+		New:        func(cfg flux.EngineConfig) flux.Rounder { return fedAvg{} },
+		Registered: true,
+		Wire:       true,
+	})
+}

@@ -31,7 +31,9 @@ func main() {
 			}
 			fmt.Printf("  round %2d  score=%.3f  t=%5.2fh  fine-tuning=%.0fs comm=%.0fs profiling=%.0fs\n",
 				ev.Round, ev.Score, ev.SimHours,
-				ev.Phases["fine-tuning"], ev.Phases["communication"], ev.Phases["profiling"])
+				ev.Phases[string(flux.PhaseFineTuning)],
+				ev.Phases[string(flux.PhaseComm)],
+				ev.Phases[string(flux.PhaseProfiling)])
 		}),
 	)
 	if err != nil {

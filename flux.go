@@ -20,7 +20,7 @@ type Experiment struct {
 	handlers  []EventHandler
 
 	mu  sync.Mutex
-	env *fed.Env
+	env *Env
 	ran bool
 }
 
@@ -111,27 +111,17 @@ type Result struct {
 	Events                 []RoundEvent // the full convergence curve, round 0 included
 }
 
-func (e *Experiment) ensureEnv(ctx context.Context) (*fed.Env, error) {
+func (e *Experiment) ensureEnv(ctx context.Context) (*Env, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.env != nil {
 		return e.env, nil
 	}
-	modelCfg, err := modelConfigByName(e.cfg.Model)
+	env, err := NewEnv(ctx, e.cfg)
 	if err != nil {
 		return nil, err
 	}
-	profile, err := data.ProfileByName(e.cfg.Dataset)
-	if err != nil {
-		return nil, err
-	}
-	env, err := fed.NewEnvContext(ctx, modelCfg, profile, e.cfg.fedConfig(), e.cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	// A method-specific RNG stream, so methods compared under the same seed
-	// start from identical state but draw independent randomness.
-	e.env = env.CloneForMethod(e.cfg.Method)
+	e.env = env
 	return e.env, nil
 }
 

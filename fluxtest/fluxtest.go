@@ -1,0 +1,385 @@
+// Package fluxtest is the conformance suite for flux extension points: it
+// takes any Rounder constructor or Transport implementation — built-in or
+// third-party — and runs it through the battery of contracts the engine
+// relies on:
+//
+//   - determinism under a fixed seed (bit-identical convergence curves),
+//   - context cancellation observed within a bound,
+//   - deterministic aggregation order (socket transports must produce the
+//     same floating-point accumulation regardless of connection order),
+//   - a well-formed event stream (rounds strictly increasing from 0,
+//     non-decreasing elapsed time, finite scores, observed traffic),
+//   - for wire-capable methods, bit-exact equivalence between the
+//     in-process and TCP executions,
+//   - for the Serve/Join deployment protocol, duplicate-participant
+//     rejection and clean failure on misbehaving clients (TestDeployment).
+//
+// The repository's own methods and transports pass this suite in CI
+// (fluxtest's tests); a third-party module registering a method with
+// flux.RegisterMethod or implementing flux.Transport should call
+// TestRounder/TestTransport from its own tests. See examples/external_method
+// for a complete out-of-module method doing exactly that.
+package fluxtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	flux "repro"
+)
+
+// QuickConfig returns the small-but-real experiment configuration the suite
+// drives implementations with: a 3-participant fleet on the reduced
+// LLaMA-MoE with a short (cached) pre-training phase and two federated
+// rounds. Exported so implementation tests can run the same workload
+// outside the suite.
+func QuickConfig(seed, method string) flux.Config {
+	cfg := flux.DefaultConfig()
+	cfg.Method = method
+	cfg.Seed = seed
+	cfg.Participants = 3
+	cfg.Rounds = 2
+	cfg.Batch = 3
+	cfg.LocalIters = 1
+	cfg.Alpha = 1.0
+	cfg.DatasetSize = 90
+	cfg.EvalSubset = 8
+	cfg.PretrainSteps = 60
+	return cfg
+}
+
+// defaultCancelBound is how long an implementation gets to observe a
+// canceled context before the suite declares it hung.
+const defaultCancelBound = 30 * time.Second
+
+// RounderSpec describes a method implementation under conformance test.
+type RounderSpec struct {
+	// Name labels the implementation; for Registered specs it must be the
+	// registry name.
+	Name string
+	// New constructs the rounder for an engine configuration — the same
+	// constructor passed to flux.RegisterMethod.
+	New func(cfg flux.EngineConfig) flux.Rounder
+	// Registered marks Name as already present in flux.Methods(). When
+	// false, the suite registers New under a fresh "fluxtest/..." name so
+	// it can be driven through the full Experiment pipeline.
+	Registered bool
+	// Wire asserts the method's round behavior is exactly the synchronous
+	// FedAvg wire exchange: the suite additionally requires bit-identical
+	// convergence between the in-process and TCP transports.
+	Wire bool
+	// CancelBound overrides the default 30s cancellation bound.
+	CancelBound time.Duration
+}
+
+var (
+	regMu  sync.Mutex
+	regSeq int
+)
+
+// registerFresh puts s.New into the method registry under a unique name so
+// unregistered implementations can be selected with WithMethod.
+func registerFresh(t *testing.T, s RounderSpec) string {
+	t.Helper()
+	regMu.Lock()
+	regSeq++
+	name := fmt.Sprintf("fluxtest/%s#%d", s.Name, regSeq)
+	regMu.Unlock()
+	if err := flux.RegisterMethod(name, "fluxtest conformance registration of "+s.Name, s.Wire, s.New); err != nil {
+		t.Fatalf("fluxtest: registering %q: %v", name, err)
+	}
+	return name
+}
+
+// TestRounder runs the Rounder conformance battery against s.
+func TestRounder(t *testing.T, s RounderSpec) {
+	t.Helper()
+	if s.Name == "" || s.New == nil {
+		t.Fatal("fluxtest: RounderSpec needs Name and New")
+	}
+	bound := s.CancelBound
+	if bound <= 0 {
+		bound = defaultCancelBound
+	}
+	method := s.Name
+	if s.Registered {
+		if !methodKnown(method) {
+			t.Fatalf("fluxtest: spec says %q is registered, but flux.Methods() does not list it", method)
+		}
+	} else {
+		method = registerFresh(t, s)
+	}
+	cfg := QuickConfig("fluxtest/rounder/"+s.Name, method)
+
+	t.Run("Construct", func(t *testing.T) {
+		r := s.New(cfg.EngineConfig())
+		if r == nil {
+			t.Fatal("constructor returned a nil Rounder")
+		}
+		if r.Name() == "" {
+			t.Error("Rounder.Name() is empty")
+		}
+		if a, b := r.Name(), s.New(cfg.EngineConfig()).Name(); a != b {
+			t.Errorf("Rounder.Name() unstable across constructions: %q vs %q", a, b)
+		}
+	})
+
+	var reference *flux.Result
+	t.Run("Determinism", func(t *testing.T) {
+		a := runOnce(t, cfg, nil)
+		b := runOnce(t, cfg, nil)
+		assertSameCurves(t, a, b, "first run", "second run")
+		reference = a
+	})
+
+	t.Run("EventStream", func(t *testing.T) {
+		if reference == nil {
+			t.Skip("no reference run (Determinism failed)")
+		}
+		assertEventStream(t, reference)
+	})
+
+	t.Run("Cancellation", func(t *testing.T) {
+		env, err := flux.NewEnv(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("NewEnv: %v", err)
+		}
+		r := s.New(env.Cfg)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		env.SetContext(ctx)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			r.Round(env, 0)
+		}()
+		select {
+		case <-done:
+		case <-time.After(bound):
+			t.Fatalf("Round did not observe the canceled context within %v", bound)
+		}
+		if obs := env.TakeRoundObs(); obs.ExpertsTouched != 0 {
+			t.Errorf("Round aggregated %d experts despite a pre-canceled context", obs.ExpertsTouched)
+		}
+	})
+
+	if s.Wire {
+		t.Run("WireEquivalence", func(t *testing.T) {
+			if reference == nil {
+				reference = runOnce(t, cfg, nil)
+			}
+			tcp := runOnce(t, cfg, flux.TCP())
+			assertSameCurves(t, reference, tcp, "in-process", "tcp")
+		})
+	}
+}
+
+// TransportSpec describes a Transport implementation under conformance test.
+type TransportSpec struct {
+	// Name labels the implementation in failure messages.
+	Name string
+	// New returns a fresh transport; the suite never reuses one across
+	// runs, so single-shot transports (like the built-in TCP) conform.
+	New func() flux.Transport
+	// Method is the registered, wire-capable method the suite drives the
+	// transport with; empty means "fmd".
+	Method string
+	// CancelBound overrides the default 30s cancellation bound.
+	CancelBound time.Duration
+}
+
+// TestTransport runs the Transport conformance battery against s.
+func TestTransport(t *testing.T, s TransportSpec) {
+	t.Helper()
+	if s.New == nil {
+		t.Fatal("fluxtest: TransportSpec needs New")
+	}
+	method := s.Method
+	if method == "" {
+		method = "fmd"
+	}
+	bound := s.CancelBound
+	if bound <= 0 {
+		bound = defaultCancelBound
+	}
+	cfg := QuickConfig("fluxtest/transport/"+s.Name, method)
+
+	t.Run("Lifecycle", func(t *testing.T) {
+		tr := s.New()
+		if tr == nil {
+			t.Fatal("New returned a nil Transport")
+		}
+		if tr.Name() == "" {
+			t.Error("Transport.Name() is empty")
+		}
+		if _, err := tr.Round(context.Background(), 0); err == nil {
+			t.Error("Round before Start must return an error")
+		}
+		// Close must be safe before Start and repeatable.
+		tr.Close()
+		tr.Close()
+	})
+
+	var reference *flux.Result
+	t.Run("Determinism", func(t *testing.T) {
+		// Two independent executions must match bit-for-bit. For socket
+		// transports this also pins deterministic aggregation order:
+		// participants connect in scheduler-dependent order, so only an
+		// implementation that orders aggregation by participant id can
+		// reproduce the same floating-point accumulation twice.
+		a := runOnce(t, cfg, s.New())
+		b := runOnce(t, cfg, s.New())
+		assertSameCurves(t, a, b, "first run", "second run")
+		reference = a
+	})
+
+	t.Run("InProcessEquivalence", func(t *testing.T) {
+		if reference == nil {
+			reference = runOnce(t, cfg, s.New())
+		}
+		ref := runOnce(t, cfg, nil)
+		assertSameCurves(t, ref, reference, "in-process", s.Name)
+	})
+
+	t.Run("EventStream", func(t *testing.T) {
+		if reference == nil {
+			t.Skip("no reference run (Determinism failed)")
+		}
+		assertEventStream(t, reference)
+	})
+
+	t.Run("Cancellation", func(t *testing.T) {
+		cancelCfg := cfg
+		cancelCfg.Seed = cfg.Seed + "/cancel"
+		cancelCfg.Rounds = 1000 // far more rounds than the bound allows
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		e, err := flux.New(
+			flux.WithConfig(cancelCfg),
+			flux.WithTransport(s.New()),
+			flux.WithRoundEvents(func(ev flux.RoundEvent) {
+				if ev.Round == 1 {
+					cancel()
+				}
+			}),
+		)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := e.Run(ctx)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Run after mid-deployment cancel: want context.Canceled, got %v", err)
+			}
+		case <-time.After(bound):
+			t.Fatalf("Run did not return within %v of cancellation", bound)
+		}
+	})
+}
+
+func methodKnown(name string) bool {
+	for _, m := range flux.Methods() {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runOnce executes one experiment with the given transport (nil means the
+// in-process default) and fails the test on any error.
+func runOnce(t *testing.T, cfg flux.Config, tr flux.Transport) *flux.Result {
+	t.Helper()
+	opts := []flux.Option{flux.WithConfig(cfg)}
+	if tr != nil {
+		opts = append(opts, flux.WithTransport(tr))
+	}
+	e, err := flux.New(opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// assertSameCurves requires two results to carry bit-identical convergence:
+// same curve length, per-round scores, uplink traffic, and aggregated
+// expert counts.
+func assertSameCurves(t *testing.T, a, b *flux.Result, aName, bName string) {
+	t.Helper()
+	if a == nil || b == nil {
+		t.Fatal("missing result")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("curve lengths differ: %s has %d events, %s has %d", aName, len(a.Events), bName, len(b.Events))
+	}
+	for i := range a.Events {
+		ea, eb := a.Events[i], b.Events[i]
+		if ea.Round != eb.Round {
+			t.Fatalf("event %d: rounds differ (%d vs %d)", i, ea.Round, eb.Round)
+		}
+		if ea.Score != eb.Score {
+			t.Fatalf("round %d: scores differ: %s=%v %s=%v", ea.Round, aName, ea.Score, bName, eb.Score)
+		}
+		if ea.UplinkBytes != eb.UplinkBytes {
+			t.Fatalf("round %d: uplink bytes differ: %s=%v %s=%v", ea.Round, aName, ea.UplinkBytes, bName, eb.UplinkBytes)
+		}
+		if ea.ExpertsTouched != eb.ExpertsTouched {
+			t.Fatalf("round %d: aggregated expert counts differ: %s=%d %s=%d", ea.Round, aName, ea.ExpertsTouched, bName, eb.ExpertsTouched)
+		}
+	}
+	if a.Final != b.Final || a.Baseline != b.Baseline {
+		t.Fatalf("summary scores differ: %s final=%v baseline=%v, %s final=%v baseline=%v",
+			aName, a.Final, a.Baseline, bName, b.Final, b.Baseline)
+	}
+}
+
+// assertEventStream requires a well-formed event stream: the baseline
+// evaluation first, rounds increasing by exactly one, non-decreasing
+// elapsed time, finite scores, and observed traffic on every real round.
+func assertEventStream(t *testing.T, res *flux.Result) {
+	t.Helper()
+	if len(res.Events) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if res.Events[0].Round != 0 {
+		t.Fatalf("first event is round %d, want the round-0 baseline", res.Events[0].Round)
+	}
+	prev := res.Events[0]
+	if !isFinite(prev.Score) {
+		t.Fatalf("round 0 score %v is not finite", prev.Score)
+	}
+	for _, ev := range res.Events[1:] {
+		if ev.Round != prev.Round+1 {
+			t.Fatalf("round numbers not monotone: %d after %d", ev.Round, prev.Round)
+		}
+		if ev.Elapsed < prev.Elapsed {
+			t.Fatalf("elapsed time went backwards at round %d: %v after %v", ev.Round, ev.Elapsed, prev.Elapsed)
+		}
+		if !isFinite(ev.Score) {
+			t.Fatalf("round %d score %v is not finite", ev.Round, ev.Score)
+		}
+		if ev.UplinkBytes <= 0 {
+			t.Fatalf("round %d observed no uplink traffic", ev.Round)
+		}
+		if ev.ExpertsTouched <= 0 {
+			t.Fatalf("round %d aggregated no experts", ev.Round)
+		}
+		prev = ev
+	}
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,118 @@
+package flux_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+
+	flux "repro"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from the current implementation")
+
+const goldenPath = "testdata/golden_convergence.json"
+
+// goldenMethods are the built-ins pinned by the regression file; custom
+// methods registered by other tests in this binary are deliberately not
+// included.
+var goldenMethods = []string{"flux", "fmd", "fmq", "fmes"}
+
+func goldenConfig(method string) flux.Config {
+	cfg := flux.DefaultConfig()
+	cfg.Method = method
+	cfg.Seed = "golden-v1"
+	cfg.Participants = 3
+	cfg.Rounds = 3
+	cfg.Batch = 3
+	cfg.LocalIters = 1
+	cfg.Alpha = 1.0
+	cfg.DatasetSize = 90
+	cfg.EvalSubset = 8
+	cfg.PretrainSteps = 60
+	return cfg
+}
+
+// TestGoldenConvergence pins the seeded per-round accuracy series of every
+// built-in method against committed golden values, so a refactor cannot
+// silently change training results. Scores are stored as exact hex float64
+// literals; any drift — even in the last bit — fails the test. After an
+// intentional change to training math, regenerate with
+//
+//	go test -run TestGoldenConvergence -update
+//
+// and commit the new testdata/golden_convergence.json together with an
+// explanation of why results moved.
+//
+// The comparison is pinned to amd64: Go may fuse multiply-adds into FMA on
+// other architectures (e.g. arm64), which legally changes the last bit of
+// the training math. CI runs amd64; elsewhere the test skips.
+func TestGoldenConvergence(t *testing.T) {
+	if runtime.GOARCH != "amd64" && !*updateGolden {
+		t.Skipf("golden values are pinned on amd64; %s may fuse FMA and drift in the last bit", runtime.GOARCH)
+	}
+	got := make(map[string][]string, len(goldenMethods))
+	for _, method := range goldenMethods {
+		e, err := flux.New(flux.WithConfig(goldenConfig(method)))
+		if err != nil {
+			t.Fatalf("%s: New: %v", method, err)
+		}
+		res, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: Run: %v", method, err)
+		}
+		var curve []string
+		for _, ev := range res.Events {
+			curve = append(curve, strconv.FormatFloat(ev.Score, 'x', -1, 64))
+		}
+		got[method] = curve
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	want := make(map[string][]string)
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	for _, method := range goldenMethods {
+		wantCurve, ok := want[method]
+		if !ok {
+			t.Errorf("%s: no golden curve committed (regenerate with -update)", method)
+			continue
+		}
+		gotCurve := got[method]
+		if len(gotCurve) != len(wantCurve) {
+			t.Errorf("%s: curve length %d, golden has %d", method, len(gotCurve), len(wantCurve))
+			continue
+		}
+		for r := range wantCurve {
+			if gotCurve[r] != wantCurve[r] {
+				gotF, _ := strconv.ParseFloat(gotCurve[r], 64)
+				wantF, _ := strconv.ParseFloat(wantCurve[r], 64)
+				t.Errorf("%s: round %d score drifted: got %v (%s), golden %v (%s) — if intentional, regenerate with -update",
+					method, r, gotF, gotCurve[r], wantF, wantCurve[r])
+			}
+		}
+	}
+}

@@ -27,17 +27,7 @@ import (
 )
 
 // identityTuning returns per-layer lists naming every expert.
-func identityTuning(cfg moe.Config) [][]int {
-	out := make([][]int, cfg.Layers())
-	for l, n := range cfg.ExpertsPerLayer {
-		ids := make([]int, n)
-		for e := range ids {
-			ids[e] = e
-		}
-		out[l] = ids
-	}
-	return out
-}
+func identityTuning(cfg moe.Config) [][]int { return fed.IdentityTuning(cfg) }
 
 // FMD fine-tunes the full model with expert offloading.
 type FMD struct{}

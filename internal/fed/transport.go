@@ -359,7 +359,7 @@ func RunClientContext(ctx context.Context, cfg ClientConfig) (*moe.Model, error)
 		}
 		tuning := cfg.TuneExperts
 		if tuning == nil {
-			tuning = identityTuningFor(model.Cfg)
+			tuning = IdentityTuning(model.Cfg)
 		}
 		localTrain(model, cfg, msg.Round)
 		u := ExtractUpdate(model, cfg.Participant, float64(len(cfg.Shard)), tuning)
@@ -369,7 +369,10 @@ func RunClientContext(ctx context.Context, cfg ClientConfig) (*moe.Model, error)
 	}
 }
 
-func identityTuningFor(cfg moe.Config) [][]int {
+// IdentityTuning returns per-layer expert-id lists naming every expert — the
+// tuning set of a full-model method, and what the wire protocol fine-tunes
+// when ClientConfig.TuneExperts is nil.
+func IdentityTuning(cfg moe.Config) [][]int {
 	out := make([][]int, cfg.Layers())
 	for l, n := range cfg.ExpertsPerLayer {
 		ids := make([]int, n)

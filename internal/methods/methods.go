@@ -3,6 +3,11 @@
 // fed.Rounder constructors. Both the public SDK and the experiment harness
 // resolve methods here, so a method registered once is available to every
 // driver.
+//
+// The Constructor signature is, via the root package's public aliases
+// (flux.EngineConfig = fed.Config, flux.Rounder = fed.Rounder), exactly the
+// signature flux.RegisterMethod accepts — out-of-module registrations land
+// here with no adaptation layer.
 package methods
 
 import (

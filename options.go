@@ -73,8 +73,10 @@ func modelConfigByName(name string) (moe.Config, error) {
 	}
 }
 
-// fedConfig lowers the public configuration onto the engine's.
-func (c Config) fedConfig() fed.Config {
+// EngineConfig lowers the public configuration onto the engine's — the
+// value a registered method constructor receives (Rounds arrives as
+// MaxRounds; pre-training batch and learning rate keep their defaults).
+func (c Config) EngineConfig() EngineConfig {
 	f := fed.DefaultConfig()
 	f.Participants = c.Participants
 	f.Batch = c.Batch
@@ -106,7 +108,7 @@ func (c Config) Validate() error {
 	if c.Target < 0 {
 		return fmt.Errorf("flux: target %v must be non-negative", c.Target)
 	}
-	if err := c.fedConfig().Validate(); err != nil {
+	if err := c.EngineConfig().Validate(); err != nil {
 		return fmt.Errorf("flux: %w", err)
 	}
 	return nil

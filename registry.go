@@ -1,7 +1,6 @@
 package flux
 
 import (
-	"repro/internal/fed"
 	"repro/internal/methods"
 )
 
@@ -16,7 +15,8 @@ type MethodInfo struct {
 }
 
 // Methods returns the registered methods in registration order; the
-// built-ins are "flux", "fmd", "fmq", and "fmes".
+// built-ins are "flux", "fmd", "fmq", and "fmes", in that order, followed by
+// custom methods in the order they were registered.
 func Methods() []MethodInfo {
 	var out []MethodInfo
 	for _, m := range methods.All() {
@@ -28,14 +28,18 @@ func Methods() []MethodInfo {
 // RegisterMethod adds a custom method to the registry under name, making it
 // selectable with WithMethod everywhere — the SDK, the experiment harness,
 // and the CLIs. The constructor receives the engine configuration (round
-// budget, fleet size) and returns the rounder that will execute each
-// synchronous round. Registering an already-taken name is an error.
+// budget, fleet size, local-SGD settings) and returns the Rounder that will
+// execute each synchronous round. Registering an empty name, a nil
+// constructor, or an already-taken name is an error.
 //
-// Note: the constructor signature names engine types that live under
-// internal/, so writing a new method currently requires code inside this
-// module; selecting methods by name is fully public. Hoisting the engine
-// interfaces to the public surface is a planned follow-up (see ROADMAP.md).
-func RegisterMethod(name, description string, tcpCapable bool, ctor func(cfg fed.Config) fed.Rounder) error {
+// The signature names only public types, so methods can be implemented and
+// registered from outside this module; examples/external_method is a
+// complete out-of-module method, and package fluxtest is the conformance
+// suite a new method should pass. Declare tcpCapable only if the method's
+// round behavior is exactly the synchronous FedAvg wire exchange (broadcast,
+// local SGD on the tuning experts, upload, aggregate) — fluxtest's wire-
+// equivalence check asserts this bit-exactly.
+func RegisterMethod(name, description string, tcpCapable bool, ctor func(cfg EngineConfig) Rounder) error {
 	return methods.Register(methods.Method{
 		Name:        name,
 		Description: description,

@@ -29,15 +29,18 @@ type RoundStats struct {
 // calls the transport once per round; implementations own where and how the
 // round's training actually happens.
 //
-// Start's environment parameter is an internal engine type, so custom
-// transports currently live inside this module (like the two built-ins
-// below); external code selects a transport with WithTransport.
+// The interface names only public types, so transports can be implemented
+// outside this module and selected with WithTransport. An implementation
+// must be deterministic in the environment's seed (fluxtest.TestTransport
+// checks the full contract, including that a wire-capable method's training
+// math is bit-identical to the in-process reference).
 type Transport interface {
 	// Name identifies the transport in results ("in-process", "tcp").
 	Name() string
 	// Start binds the transport to a materialized environment and method.
-	Start(ctx context.Context, env *fed.Env, method string) error
+	Start(ctx context.Context, env *Env, method string) error
 	// Round executes synchronous round r, mutating env.Global in place.
+	// Calling it before a successful Start is an error, not a panic.
 	Round(ctx context.Context, r int) (RoundStats, error)
 	// Close releases resources; it must be safe to call repeatedly and
 	// after a failed Start.
@@ -50,13 +53,13 @@ type Transport interface {
 func InProcess() Transport { return &inProcess{} }
 
 type inProcess struct {
-	env     *fed.Env
-	rounder fed.Rounder
+	env     *Env
+	rounder Rounder
 }
 
 func (t *inProcess) Name() string { return "in-process" }
 
-func (t *inProcess) Start(ctx context.Context, env *fed.Env, method string) error {
+func (t *inProcess) Start(ctx context.Context, env *Env, method string) error {
 	rounder, err := methods.New(method, env.Cfg)
 	if err != nil {
 		return err
@@ -66,6 +69,9 @@ func (t *inProcess) Start(ctx context.Context, env *fed.Env, method string) erro
 }
 
 func (t *inProcess) Round(ctx context.Context, r int) (RoundStats, error) {
+	if t.rounder == nil {
+		return RoundStats{}, errors.New("flux: in-process transport not started")
+	}
 	if err := ctx.Err(); err != nil {
 		return RoundStats{}, err
 	}
@@ -116,7 +122,7 @@ type tcpTransport struct {
 	addr    string
 	timeout time.Duration
 
-	env        *fed.Env
+	env        *Env
 	srv        *fed.Server
 	ln         net.Listener
 	cancel     context.CancelFunc
@@ -130,7 +136,7 @@ type tcpTransport struct {
 
 func (t *tcpTransport) Name() string { return "tcp" }
 
-func (t *tcpTransport) Start(ctx context.Context, env *fed.Env, method string) error {
+func (t *tcpTransport) Start(ctx context.Context, env *Env, method string) error {
 	if t.srv != nil {
 		// Teardown is one-shot (closeOnce); a second run on a consumed
 		// transport would skip the final broadcast and leak connections.
