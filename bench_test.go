@@ -9,6 +9,7 @@ package flux
 // Use cmd/fluxsim (without -quick) for full-scale regeneration.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fed"
 	"repro/internal/flux/profile"
+	"repro/internal/methods"
 	"repro/internal/moe"
 	"repro/internal/quant"
 	"repro/internal/simtime"
@@ -67,6 +69,44 @@ func BenchmarkFigure17Merging(b *testing.B)     { benchExperiment(b, "figure17")
 func BenchmarkFigure18GradEst(b *testing.B)     { benchExperiment(b, "figure18") }
 func BenchmarkFigure19Epsilon(b *testing.B)     { benchExperiment(b, "figure19") }
 func BenchmarkFigure20Overhead(b *testing.B)    { benchExperiment(b, "figure20") }
+
+// BenchmarkRound measures one synchronous federated round of each built-in
+// method across participant-pool widths. It is the headline number for the
+// parallel execution layer: the curve from workers=1 to workers=8 is the
+// wall-clock speedup the pool buys on this machine, with results
+// bit-identical at every width (TestSerialParallelBitEquality pins that).
+// CI runs it and publishes BENCH_round.json (see cmd/benchjson).
+func BenchmarkRound(b *testing.B) {
+	for _, method := range []string{"flux", "fmd"} {
+		for _, workers := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("method=%s/workers=%d", method, workers), func(b *testing.B) {
+				cfg := fed.DefaultConfig()
+				cfg.Participants = 8
+				cfg.Batch = 3
+				cfg.LocalIters = 1
+				cfg.DatasetSize = 96
+				cfg.EvalSubset = 8
+				cfg.PretrainSteps = 60
+				cfg.Workers = workers
+				env, err := fed.NewEnv(moe.SimConfigLLaMATrain(), data.GSM8K(), cfg, "bench-round")
+				if err != nil {
+					b.Fatal(err)
+				}
+				env = env.CloneForMethod("bench-round/" + method)
+				r, err := methods.New(method, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.Round(env, i)
+					env.TakeRoundObs()
+				}
+			})
+		}
+	}
+}
 
 // Micro-benchmarks for the substrate's hot paths.
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, figure1, ... figure20) or 'all'")
 	quick := flag.Bool("quick", false, "reduced rounds/samples; same workload shapes")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "participant worker pool per round (1 = serial); results are bit-identical at any setting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
-		if err := flux.RunExperiment(id, *quick, os.Stdout); err != nil {
+		if err := flux.RunExperimentOpts(id, flux.ExperimentOptions{Quick: *quick, Parallelism: *workers}, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "fluxsim:", err)
 			failed++
 			continue

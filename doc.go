@@ -27,6 +27,17 @@
 // wire equivalence) that both third-party plugins and the built-ins here
 // are tested against.
 //
+// The in-process engine executes each round's participant phase over a
+// worker pool (WithParallelism; the default is GOMAXPROCS) with a strict
+// determinism contract: convergence curves, observed traffic, and simulated
+// phase timings are bit-identical at every worker count. Rounders get the
+// same machinery through ForEachParticipant — pre-split env.RNG per
+// participant, write only per-participant state, reduce in index order —
+// with per-worker Scratch buffers (local-model clone, gradient accumulator,
+// update-flatten arena) that persist across rounds to keep the hot path
+// allocation-lean. fluxtest's ParallelDeterminism check enforces the
+// contract on built-ins and third-party methods alike.
+//
 // Per-round accuracy, simulated time, and wire traffic stream out through
 // RoundEvent callbacks (WithRoundEvents). Serve and Join run the
 // cross-machine parameter-server deployment that cmd/fluxserver and

@@ -57,6 +57,13 @@ type Rounder = fed.Rounder
 // parameters of each expert it fine-tuned plus its FedAvg weight.
 type Update = fed.Update
 
+// Scratch is the per-worker reusable memory ForEachParticipant hands to a
+// participant body: a persistent local-model clone buffer (LocalClone), a
+// gradient accumulator (Grads), and a flatten arena (ExtractUpdate). Buffers
+// persist across rounds of the same environment; do not retain references
+// past the round's reduction.
+type Scratch = fed.Scratch
+
 // ExpertKey identifies an expert by layer and original index.
 type ExpertKey = fed.ExpertKey
 
@@ -134,6 +141,21 @@ func NewEnv(ctx context.Context, cfg Config) (*Env, error) {
 // NewGrads returns a full-precision gradient accumulator for m, for the
 // NewGrads → ForwardBackward → ApplySGD local-training loop.
 func NewGrads(m *Model) *Grads { return moe.NewGrads(m, false) }
+
+// ForEachParticipant executes fn once for every participant index over the
+// environment's worker pool (EngineConfig.Workers wide; zero means
+// GOMAXPROCS), handing each invocation its worker's Scratch. It is how a
+// custom Rounder gets deterministic parallel participant execution: split
+// env.RNG per participant before calling it, have fn write only
+// per-participant state against the read-only env.Global, and reduce
+// (aggregate, sum uplink bytes, take phase maxima) in participant-index
+// order after it returns. A non-nil error means the round was canceled; the
+// Rounder must then return nil phases without aggregating. The built-in
+// methods all run on this pool; fluxtest verifies the resulting bit-identity
+// between serial and parallel execution.
+func ForEachParticipant(env *Env, fn func(s *Scratch, i int)) error {
+	return fed.ForEachParticipant(env, fn)
+}
 
 // TuneAllExperts returns per-layer expert-id lists naming every expert of m
 // — the tuning set of a full-model method, and exactly what the TCP wire

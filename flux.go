@@ -197,9 +197,11 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 			runErr = err
 			break
 		}
+		phases := make(map[simtime.Phase]float64, len(stats.Phases))
 		for phase, sec := range stats.Phases {
-			clock.Advance(simtime.Phase(phase), sec)
+			phases[simtime.Phase(phase)] = sec
 		}
+		clock.AdvanceAll(phases) // sorted: simulated time accumulates bit-reproducibly
 		res.Rounds = r + 1
 		res.UplinkBytes += stats.UplinkBytes
 		score = env.Evaluate()

@@ -4,6 +4,8 @@
 // relies on:
 //
 //   - determinism under a fixed seed (bit-identical convergence curves),
+//   - bit-identical curves between serial (workers=1) and pooled (workers=8)
+//     participant execution,
 //   - context cancellation observed within a bound,
 //   - deterministic aggregation order (socket transports must produce the
 //     same floating-point accumulation regardless of connection order),
@@ -135,6 +137,24 @@ func TestRounder(t *testing.T, s RounderSpec) {
 		b := runOnce(t, cfg, nil)
 		assertSameCurves(t, a, b, "first run", "second run")
 		reference = a
+	})
+
+	t.Run("ParallelDeterminism", func(t *testing.T) {
+		// The engine's parallel-execution contract: the convergence curve
+		// must be bit-identical whether participants run serially
+		// (workers=1) or over a saturated worker pool. A Rounder that runs
+		// its own serial loop passes trivially; one built on
+		// flux.ForEachParticipant passes only if it pre-splits randomness
+		// and reduces in participant order.
+		if reference == nil {
+			t.Skip("no reference run (Determinism failed)")
+		}
+		for _, workers := range []int{1, 8} {
+			wcfg := cfg
+			wcfg.Workers = workers
+			got := runOnce(t, wcfg, nil)
+			assertSameCurves(t, reference, got, "default-workers run", fmt.Sprintf("workers=%d run", workers))
+		}
 	})
 
 	t.Run("EventStream", func(t *testing.T) {

@@ -35,51 +35,78 @@ type FMD struct{}
 // Name implements fed.Rounder.
 func (FMD) Name() string { return "fmd" }
 
+// baselineResult is one participant's contribution to a baseline round,
+// written into its own slot during the parallel fan-out and reduced in
+// participant order afterwards.
+type baselineResult struct {
+	update            fed.Update
+	bytes             float64
+	localSec, profSec float64
+	commSec           float64
+}
+
 // Round implements fed.Rounder.
 func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	cfg := env.Global.Cfg
 	tuning := identityTuning(cfg)
 	total := env.TotalExperts()
 
-	var updates []fed.Update
-	var maxLocal, commMax, aggBytes float64
-	for i := 0; i < env.Cfg.Participants; i++ {
-		if env.Canceled() {
-			return nil
-		}
+	results := make([]baselineResult, env.Cfg.Participants)
+	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
 		dev := env.Devices[i]
-		local := env.Global.Clone()
-		grads := moe.NewGrads(local, false)
+		local := ws.LocalClone(env.Global)
+		grads := ws.Grads(local)
+		batch := env.Batch(i, round) // hoisted: identical for every local iteration
 		tokens, steps := 0, 0
 		for it := 0; it < env.Cfg.LocalIters; it++ {
-			for _, s := range env.Batch(i, round) {
+			for _, s := range batch {
 				seq, mask := s.FullSequence()
 				local.ForwardBackward(seq, mask, grads, nil, -1)
 				tokens += len(seq)
 				steps++
 			}
-			local.ApplySGD(grads, env.Cfg.LR/float64(len(env.Batch(i, round))))
+			local.ApplySGD(grads, env.Cfg.LR/float64(len(batch)))
 		}
 		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, 1.0))
 		// Every step shuttles the uncached fraction of experts in and out.
 		loads := int(2 * (1 - dev.CapacityFrac) * float64(total))
 		offloadSec := float64(steps) * dev.OffloadSeconds(cfg, loads)
 
-		u := fed.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
-		updates = append(updates, u)
+		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
-		aggBytes += bytes
-		commSec := dev.UplinkSeconds(bytes) + dev.UplinkSeconds(simtime.ModelBytes(cfg))
-
-		maxLocal = math.Max(maxLocal, trainSec+offloadSec)
-		commMax = math.Max(commMax, commSec)
+		results[i] = baselineResult{
+			update:   u,
+			bytes:    bytes,
+			localSec: trainSec + offloadSec,
+			commSec:  dev.UplinkSeconds(bytes) + dev.UplinkSeconds(simtime.ModelBytes(cfg)),
+		}
+	})
+	if err != nil {
+		return nil
 	}
+
+	updates, aggBytes, maxLocal, _, commMax := reduceResults(results)
 	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
 	env.ObserveUplink(aggBytes)
 	return map[simtime.Phase]float64{
 		simtime.PhaseFineTuning: maxLocal,
 		simtime.PhaseComm:       commMax + aggBytes/env.Cfg.ServerBw,
 	}
+}
+
+// reduceResults folds per-participant results in participant-index order, so
+// the floating-point byte sum and phase maxima are independent of worker
+// scheduling.
+func reduceResults(results []baselineResult) (updates []fed.Update, aggBytes, maxLocal, profMax, commMax float64) {
+	updates = make([]fed.Update, len(results))
+	for i, p := range results {
+		updates[i] = p.update
+		aggBytes += p.bytes
+		maxLocal = math.Max(maxLocal, p.localSec)
+		profMax = math.Max(profMax, p.profSec)
+		commMax = math.Max(commMax, p.commSec)
+	}
+	return updates, aggBytes, maxLocal, profMax, commMax
 }
 
 // FMQ fine-tunes an INT-quantized model.
@@ -103,24 +130,22 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		bits = quant.Bits4
 	}
 
-	var updates []fed.Update
-	var maxLocal, commMax, aggBytes float64
-	for i := 0; i < env.Cfg.Participants; i++ {
-		if env.Canceled() {
-			return nil
-		}
+	results := make([]baselineResult, env.Cfg.Participants)
+	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
 		dev := env.Devices[i]
 		// The local working copy lives on the quantization grid.
-		local := moe.QuantizedClone(env.Global, bits)
-		grads := moe.NewGrads(local, false)
+		local := ws.LocalClone(env.Global)
+		moe.Quantize(local, bits)
+		grads := ws.Grads(local)
+		batch := env.Batch(i, round)
 		tokens := 0
 		for it := 0; it < env.Cfg.LocalIters; it++ {
-			for _, s := range env.Batch(i, round) {
+			for _, s := range batch {
 				seq, mask := s.FullSequence()
 				local.ForwardBackward(seq, mask, grads, nil, -1)
 				tokens += len(seq)
 			}
-			local.ApplySGD(grads, env.Cfg.LR/float64(len(env.Batch(i, round))))
+			local.ApplySGD(grads, env.Cfg.LR/float64(len(batch)))
 			// Storage is quantized: every update is immediately re-rounded,
 			// which is where FMQ's accumulated precision error comes from.
 			requantizeExperts(local, bits)
@@ -128,15 +153,20 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		// Quantized kernels run ~32/bits faster.
 		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, 1.0)) * float64(bits) / 32
 
-		u := fed.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
-		updates = append(updates, u)
+		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u) * float64(bits) / 32
-		aggBytes += bytes
-		commSec := dev.UplinkSeconds(bytes) + dev.UplinkSeconds(simtime.ModelBytes(cfg)*float64(bits)/32)
-
-		maxLocal = math.Max(maxLocal, trainSec+dev.QuantizeSeconds(cfg))
-		commMax = math.Max(commMax, commSec)
+		results[i] = baselineResult{
+			update:   u,
+			bytes:    bytes,
+			localSec: trainSec + dev.QuantizeSeconds(cfg),
+			commSec:  dev.UplinkSeconds(bytes) + dev.UplinkSeconds(simtime.ModelBytes(cfg)*float64(bits)/32),
+		}
+	})
+	if err != nil {
+		return nil
 	}
+
+	updates, aggBytes, maxLocal, _, commMax := reduceResults(results)
 	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
 	env.ObserveUplink(aggBytes)
 	return map[simtime.Phase]float64{
@@ -172,15 +202,12 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	cfg := env.Global.Cfg
 	prof := profile.Profiler{Bits: s.ProfileBits}
 
-	var updates []fed.Update
-	var maxLocal, commMax, profMax, aggBytes float64
-	for i := 0; i < env.Cfg.Participants; i++ {
-		if env.Canceled() {
-			return nil
-		}
+	results := make([]baselineResult, env.Cfg.Participants)
+	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
 		dev := env.Devices[i]
-		// Serial profiling each round (FMES has no stale pipeline).
-		res := prof.Run(env.Global, env.Batch(i, round))
+		batch := env.Batch(i, round)
+		// Fresh profiling each round (FMES has no stale pipeline).
+		res := prof.Run(env.Global, batch)
 		profSec := res.Seconds(dev, cfg)
 
 		_, tune := env.Budgets(i)
@@ -190,9 +217,8 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 			panic(fmt.Sprintf("fmes: %v", err))
 		}
 
-		grads := moe.NewGrads(local, false)
+		grads := ws.Grads(local)
 		tokens := 0
-		batch := env.Batch(i, round)
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, smp := range batch {
 				seq, mask := smp.FullSequence()
@@ -204,17 +230,22 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		tuneFrac := float64(tune) / float64(maxiB(1, env.TotalExperts()))
 		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, tuneFrac))
 
-		u := fed.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
-		updates = append(updates, u)
+		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
-		aggBytes += bytes
-		commSec := dev.UplinkSeconds(bytes) +
-			dev.UplinkSeconds(float64(tune)*simtime.ExpertBytes(cfg))
-
-		maxLocal = math.Max(maxLocal, trainSec)
-		profMax = math.Max(profMax, profSec)
-		commMax = math.Max(commMax, commSec)
+		results[i] = baselineResult{
+			update:   u,
+			bytes:    bytes,
+			localSec: trainSec,
+			profSec:  profSec,
+			commSec: dev.UplinkSeconds(bytes) +
+				dev.UplinkSeconds(float64(tune)*simtime.ExpertBytes(cfg)),
+		}
+	})
+	if err != nil {
+		return nil
 	}
+
+	updates, aggBytes, maxLocal, profMax, commMax := reduceResults(results)
 	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
 	env.ObserveUplink(aggBytes)
 	return map[simtime.Phase]float64{

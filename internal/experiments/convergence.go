@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/data"
 	"repro/internal/fed"
@@ -193,9 +194,16 @@ func Figure20(o Options) *Table {
 	}
 	for _, p := range datasetList() {
 		run := convergenceRun(o, "llama", "flux", p, trainConfig(o).Participants, true)
+		// Fold in sorted order: map iteration would accumulate the float
+		// total in randomized order and drift its last bit between runs.
+		keys := make([]string, 0, len(run.Phases))
+		for k := range run.Phases {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		var total float64
-		for _, v := range run.Phases {
-			total += v
+		for _, k := range keys {
+			total += run.Phases[k]
 		}
 		if total == 0 {
 			total = 1

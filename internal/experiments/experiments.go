@@ -25,6 +25,12 @@ type Options struct {
 	// Quick shrinks rounds and sample counts so the full suite completes in
 	// minutes. Shapes (orderings, crossovers) are preserved.
 	Quick bool
+
+	// Parallelism is the per-round participant worker count federated runs
+	// execute with (fed.Config.Workers): zero means GOMAXPROCS, one forces
+	// serial. Results are bit-identical at every setting, so runMemo safely
+	// ignores it.
+	Parallelism int
 }
 
 // Table is a printable experiment result.
@@ -80,6 +86,7 @@ func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 // trainConfig returns the fed config used by convergence experiments.
 func trainConfig(o Options) fed.Config {
 	cfg := fed.DefaultConfig()
+	cfg.Workers = o.Parallelism
 	if o.Quick {
 		cfg.Participants = 6
 		cfg.Batch = 5

@@ -165,17 +165,26 @@ func (keepMergedFMES) Name() string { return "fmes-keep" }
 func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	// Delegate everything to FMES but swap the discard for a merge by
 	// giving the merged expert the real average weights: reuse merge plan
-	// with single-expert budgets.
+	// with single-expert budgets. Participants run over the environment's
+	// worker pool; RNG streams are split serially up front and aggregation
+	// consumes updates in participant order, keeping the curve bit-identical
+	// at every worker count.
 	cfg := env.Global.Cfg
-	prof := profile.Profiler{Bits: quant.Bits4, TrackSamples: true}
-	var updates []fed.Update
-	for i := 0; i < env.Cfg.Participants; i++ {
-		res := prof.Run(env.Global, env.Batch(i, round))
+	n := env.Cfg.Participants
+	rngs := make([]*tensor.RNG, n)
+	for i := range rngs {
+		rngs[i] = env.RNG.Split(fmt.Sprintf("fig3/%d/%d", i, round))
+	}
+	updates := make([]fed.Update, n)
+	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
+		prof := profile.Profiler{Bits: quant.Bits4, TrackSamples: true}
+		batch := env.Batch(i, round)
+		res := prof.Run(env.Global, batch)
 		_, tune := env.Budgets(i)
 		tuning := baselines.TopByFrequency(res.Stats, cfg, tune)
 		opt := merge.DefaultOptions()
 		opt.Policy = merge.BudgetSingle
-		plan, err := merge.BuildPlan(env.Global, res.Stats, tuning, cfg.Layers(), opt, env.RNG.Split(fmt.Sprintf("fig3/%d/%d", i, round)))
+		plan, err := merge.BuildPlan(env.Global, res.Stats, tuning, cfg.Layers(), opt, rngs[i])
 		if err != nil {
 			panic(err)
 		}
@@ -183,8 +192,7 @@ func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		if err != nil {
 			panic(err)
 		}
-		grads := moe.NewGrads(local, false)
-		batch := env.Batch(i, round)
+		grads := ws.Grads(local)
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, s := range batch {
 				seq, mask := s.FullSequence()
@@ -192,7 +200,10 @@ func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 			}
 			local.ApplySGD(grads, env.Cfg.LR/float64(len(batch)))
 		}
-		updates = append(updates, fed.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning))
+		updates[i] = ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
+	})
+	if err != nil {
+		return nil
 	}
 	fed.Aggregate(env.Global, updates)
 	return map[simtime.Phase]float64{simtime.PhaseFineTuning: 1}

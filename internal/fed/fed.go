@@ -12,6 +12,7 @@ package fed
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/data"
 	"repro/internal/eval"
@@ -39,6 +40,12 @@ type Config struct {
 	// shared across participants; aggregation time grows with the fleet,
 	// producing the diminishing scalability returns of Figures 12–13.
 	ServerBw float64
+
+	// Workers bounds the pool ForEachParticipant fans participant execution
+	// over. Zero (the default) resolves to GOMAXPROCS; one forces the serial
+	// path. Convergence results are bit-identical at every setting — the
+	// parallel layer only changes wall-clock time, never the math.
+	Workers int
 }
 
 // DefaultConfig returns the settings used by the paper-shaped experiments:
@@ -76,6 +83,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fed: max rounds %d must be positive", c.MaxRounds)
 	case c.ServerBw <= 0:
 		return fmt.Errorf("fed: server bandwidth %v must be positive", c.ServerBw)
+	case c.Workers < 0:
+		return fmt.Errorf("fed: workers %d must be non-negative (0 = GOMAXPROCS)", c.Workers)
 	}
 	return nil
 }
@@ -91,8 +100,51 @@ type Env struct {
 	Devices []simtime.Device
 	RNG     *tensor.RNG
 
-	ctx context.Context
-	obs RoundObs
+	ctx   context.Context
+	state *envState
+}
+
+// envState is the environment's mutable shared state, held behind a pointer
+// so Env values can be shallow-copied (CloneForMethod) without copying locks
+// or sharing counters across clones.
+type envState struct {
+	mu      sync.Mutex
+	obs     RoundObs
+	scratch []*Scratch
+}
+
+// envStateInit guards lazy state allocation for Env values assembled by
+// composite literal outside this package (everything in-repo goes through
+// NewEnv/CloneForMethod, which allocate state at construction). A global
+// mutex keeps the goroutine-safety promise of Observe*/TakeRoundObs even on
+// such hand-built environments; it is taken once per round-level call, never
+// on a hot path.
+var envStateInit sync.Mutex
+
+// st returns the environment's shared state, allocating it on first use for
+// Env values not built by NewEnv.
+func (e *Env) st() *envState {
+	envStateInit.Lock()
+	s := e.state
+	if s == nil {
+		s = &envState{}
+		e.state = s
+	}
+	envStateInit.Unlock()
+	return s
+}
+
+// scratches returns at least n per-worker scratches, growing the pool on
+// first use and whenever the worker count rises. Scratches persist for the
+// environment's lifetime so worker buffers survive across rounds.
+func (e *Env) scratches(n int) []*Scratch {
+	st := e.st()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for len(st.scratch) < n {
+		st.scratch = append(st.scratch, &Scratch{})
+	}
+	return st.scratch[:n]
 }
 
 // RoundObs collects per-round observability counters that Rounders report
@@ -121,17 +173,34 @@ func (e *Env) Context() context.Context {
 func (e *Env) Canceled() bool { return e.Context().Err() != nil }
 
 // ObserveUplink accumulates uploaded payload bytes for the current round.
-func (e *Env) ObserveUplink(bytes float64) { e.obs.UplinkBytes += bytes }
+// It is goroutine-safe, but a deterministic Rounder must still reduce
+// per-participant byte counts in participant-index order before reporting —
+// float accumulation order is part of the bit-identity contract. The
+// built-ins sum after ForEachParticipant joins and call this once per round.
+func (e *Env) ObserveUplink(bytes float64) {
+	st := e.st()
+	st.mu.Lock()
+	st.obs.UplinkBytes += bytes
+	st.mu.Unlock()
+}
 
 // ObserveAggregated records how many distinct experts the current round's
-// aggregation touched.
-func (e *Env) ObserveAggregated(n int) { e.obs.ExpertsTouched = n }
+// aggregation touched. It is goroutine-safe.
+func (e *Env) ObserveAggregated(n int) {
+	st := e.st()
+	st.mu.Lock()
+	st.obs.ExpertsTouched = n
+	st.mu.Unlock()
+}
 
 // TakeRoundObs returns the counters accumulated since the last call and
-// resets them.
+// resets them. It is goroutine-safe.
 func (e *Env) TakeRoundObs() RoundObs {
-	o := e.obs
-	e.obs = RoundObs{}
+	st := e.st()
+	st.mu.Lock()
+	o := st.obs
+	st.obs = RoundObs{}
+	st.mu.Unlock()
 	return o
 }
 
@@ -176,6 +245,7 @@ func NewEnvContext(ctx context.Context, modelCfg moe.Config, profile data.Profil
 		Test:    test,
 		Devices: devices,
 		RNG:     root.Split("run"),
+		state:   &envState{},
 	}, nil
 }
 
@@ -186,6 +256,7 @@ func (e *Env) CloneForMethod(method string) *Env {
 	c := *e
 	c.Global = e.Global.Clone()
 	c.RNG = tensor.Named("method/" + method).Split(e.Profile.Name)
+	c.state = &envState{} // fresh counters and worker scratch, not shared
 	return &c
 }
 
@@ -347,10 +418,8 @@ func RunContext(ctx context.Context, env *Env, m Rounder, target float64) (*metr
 			// The round was abandoned mid-way; its partial work is discarded.
 			return tr, clock, err
 		}
-		for p, sec := range phases {
-			clock.Advance(p, sec)
-		}
-		env.TakeRoundObs() // reset per-round counters for drivers that ignore them
+		clock.AdvanceAll(phases) // sorted: simulated time accumulates bit-reproducibly
+		env.TakeRoundObs()       // reset per-round counters for drivers that ignore them
 		score := env.Evaluate()
 		tr.Record(r+1, clock.Hours(), score)
 		if target > 0 && score >= target {

@@ -1,0 +1,168 @@
+// Deterministic parallel participant execution.
+//
+// The synchronous round of every method in this repository is embarrassingly
+// parallel: each participant profiles, merges, and fine-tunes against a
+// read-only global model, and only server-side aggregation mutates shared
+// state. ForEachParticipant exploits that structure — participant bodies fan
+// out over a worker pool — while keeping results bit-identical to a serial
+// loop. The determinism contract has three legs:
+//
+//  1. Randomness: rounders split env.RNG once per participant *before*
+//     dispatching work (splitting advances the parent stream, so it must
+//     happen in participant order on one goroutine). A participant body
+//     consumes only its own pre-split stream.
+//  2. Disjoint writes: a body writes only per-participant state — its result
+//     slot, its utility table, its worker's scratch. The global model is
+//     read-only until the pool joins.
+//  3. Ordered reduction: floating-point accumulation (uplink-byte sums,
+//     FedAvg aggregation) happens after the join, iterating participants in
+//     index order, so accumulation order never depends on scheduling.
+//
+// Each worker owns a Scratch whose buffers (local model clone, gradient
+// accumulator, update-flattening arena) persist across rounds, so steady-state
+// rounds stop allocating whole models.
+package fed
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/moe"
+)
+
+// Scratch is the per-worker reusable memory ForEachParticipant hands to a
+// participant body. Its buffers persist across rounds of the same
+// environment; a body may freely overwrite them, but must not retain
+// references past the round's reduction — the next round's pool reuses them.
+type Scratch struct {
+	model *moe.Model
+	grads *moe.Grads
+	arena []float64
+	off   int
+}
+
+// LocalClone deep-copies src into the scratch's persistent model buffer and
+// returns it. When the buffer's shape matches src (the steady state for
+// full-model methods), no parameter storage is allocated.
+func (s *Scratch) LocalClone(src *moe.Model) *moe.Model {
+	s.model = src.CloneInto(s.model)
+	return s.model
+}
+
+// Grads returns a zeroed gradient accumulator shaped like m, reusing the
+// scratch's persistent buffer when m's expert layout matches the previous
+// round's.
+func (s *Scratch) Grads(m *moe.Model) *moe.Grads {
+	s.grads = s.grads.Reset(m)
+	return s.grads
+}
+
+// takeFloats returns a length-n slice carved from the scratch arena. Slices
+// handed out earlier stay valid when the arena grows (they keep the old
+// backing array); the arena is rewound at the start of each round.
+func (s *Scratch) takeFloats(n int) []float64 {
+	if s.off+n > len(s.arena) {
+		grow := 2 * (s.off + n)
+		if grow < 4096 {
+			grow = 4096
+		}
+		s.arena = make([]float64, grow)
+		s.off = 0
+	}
+	out := s.arena[s.off : s.off+n : s.off+n]
+	s.off += n
+	return out
+}
+
+// ExtractUpdate is ExtractUpdate backed by the scratch's reusable flatten
+// arena: expert parameters land in pooled buffers instead of fresh
+// allocations. The returned update is valid until the next round's
+// ForEachParticipant on the same environment — exactly long enough to reach
+// end-of-round aggregation.
+func (s *Scratch) ExtractUpdate(local *moe.Model, participant int, weight float64, tuning [][]int) Update {
+	u := Update{Participant: participant, Weight: weight, Experts: make(map[ExpertKey][]float64)}
+	for l, ids := range tuning {
+		for _, orig := range ids {
+			e := local.ExpertAt(l, orig)
+			buf := s.takeFloats(e.Params())
+			u.Experts[ExpertKey{Layer: l, Expert: orig}] = e.FlattenTo(buf[:0])
+		}
+	}
+	return u
+}
+
+// Workers resolves the participant-phase worker count: Cfg.Workers, with
+// zero meaning GOMAXPROCS, clamped to the fleet size.
+func (e *Env) Workers() int {
+	w := e.Cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > e.Cfg.Participants {
+		w = e.Cfg.Participants
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEachParticipant executes fn once for every participant index over the
+// environment's worker pool, passing each invocation its worker's Scratch.
+// It returns the environment context's error if the round was canceled — the
+// caller must then abandon the round (skip aggregation and return nil
+// phases), exactly as a serial loop polling env.Canceled would.
+//
+// fn must follow the determinism contract documented at the top of this
+// file: consume only pre-split randomness, write only per-participant state,
+// and leave all cross-participant reduction to the caller.
+func ForEachParticipant(env *Env, fn func(s *Scratch, i int)) error {
+	n := env.Cfg.Participants
+	workers := env.Workers()
+	scratch := env.scratches(workers)
+	for _, s := range scratch {
+		s.off = 0
+	}
+
+	if workers == 1 {
+		s := scratch[0]
+		for i := 0; i < n; i++ {
+			if env.Canceled() {
+				break
+			}
+			fn(s, i)
+		}
+		return env.Context().Err()
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for _, s := range scratch {
+		wg.Add(1)
+		go func(s *Scratch) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicked = p })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || env.Canceled() {
+					return
+				}
+				fn(s, i)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if panicked != nil {
+		// A participant body panicking is a programming error; surface it on
+		// the calling goroutine like the serial loop would.
+		panic(panicked)
+	}
+	return env.Context().Err()
+}

@@ -1,0 +1,209 @@
+package fed
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/moe"
+)
+
+// parallelTestEnv returns a small materialized environment for pool tests.
+func parallelTestEnv(t *testing.T, participants, workers int) *Env {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Participants = participants
+	cfg.Workers = workers
+	cfg.Batch = 2
+	cfg.LocalIters = 1
+	cfg.DatasetSize = 10 * participants
+	cfg.EvalSubset = 4
+	cfg.MaxRounds = 2
+	cfg.PretrainSteps = 5
+	env, err := NewEnv(moe.SimConfigLLaMATrain(), data.GSM8K(), cfg, "parallel-test")
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return env
+}
+
+func TestForEachParticipantCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		env := parallelTestEnv(t, 7, workers)
+		var mu sync.Mutex
+		visits := make(map[int]int)
+		if err := ForEachParticipant(env, func(s *Scratch, i int) {
+			if s == nil {
+				t.Error("nil scratch")
+			}
+			mu.Lock()
+			visits[i]++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(visits) != 7 {
+			t.Fatalf("workers=%d: visited %d participants, want 7", workers, len(visits))
+		}
+		for i, n := range visits {
+			if n != 1 {
+				t.Errorf("workers=%d: participant %d visited %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachParticipantDistinctScratchPerWorker(t *testing.T) {
+	env := parallelTestEnv(t, 6, 3)
+	var mu sync.Mutex
+	seen := make(map[*Scratch]bool)
+	if err := ForEachParticipant(env, func(s *Scratch, i int) {
+		mu.Lock()
+		seen[s] = true
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) > 3 {
+		t.Fatalf("%d distinct scratches handed out by a 3-worker pool", len(seen))
+	}
+	pool := append([]*Scratch(nil), env.st().scratch...)
+	if len(pool) != 3 {
+		t.Fatalf("pool holds %d scratches, want 3", len(pool))
+	}
+	inPool := func(s *Scratch) bool {
+		for _, p := range pool {
+			if p == s {
+				return true
+			}
+		}
+		return false
+	}
+	for s := range seen {
+		if !inPool(s) {
+			t.Error("fan-out handed out a scratch outside the environment's pool")
+		}
+	}
+	// Scratches persist across rounds: a second fan-out reuses the same pool
+	// (which worker gets which participant is scheduling-dependent, but every
+	// scratch must come from the persistent pool).
+	if err := ForEachParticipant(env, func(s *Scratch, i int) {
+		if !inPool(s) {
+			t.Errorf("second round handed out a scratch outside the persistent pool")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.st().scratch) != 3 {
+		t.Errorf("pool grew to %d scratches across rounds", len(env.st().scratch))
+	}
+}
+
+func TestForEachParticipantCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		env := parallelTestEnv(t, 16, workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		env.SetContext(ctx)
+		ran := 0
+		var mu sync.Mutex
+		err := ForEachParticipant(env, func(s *Scratch, i int) {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: pre-canceled context not reported", workers)
+		}
+		if ran > workers {
+			t.Errorf("workers=%d: %d bodies ran after cancellation", workers, ran)
+		}
+	}
+}
+
+func TestForEachParticipantPanicPropagates(t *testing.T) {
+	env := parallelTestEnv(t, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("participant panic did not propagate to the caller")
+		}
+	}()
+	_ = ForEachParticipant(env, func(s *Scratch, i int) {
+		if i == 2 {
+			panic("participant body failure")
+		}
+	})
+}
+
+func TestEnvWorkersResolution(t *testing.T) {
+	env := parallelTestEnv(t, 3, 0)
+	if w := env.Workers(); w < 1 || w > 3 {
+		t.Errorf("Workers()=%d with Workers=0 and 3 participants; want within [1,3]", w)
+	}
+	env.Cfg.Workers = 1
+	if w := env.Workers(); w != 1 {
+		t.Errorf("Workers()=%d, want 1", w)
+	}
+	env.Cfg.Workers = 64
+	if w := env.Workers(); w != 3 {
+		t.Errorf("Workers()=%d, want clamp to 3 participants", w)
+	}
+}
+
+func TestConfigValidateRejectsNegativeWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}
+
+// TestScratchExtractUpdateMatchesPlain pins the scratch-arena extraction to
+// the allocating reference, including across arena rewinds.
+func TestScratchExtractUpdateMatchesPlain(t *testing.T) {
+	env := parallelTestEnv(t, 2, 1)
+	tuning := IdentityTuning(env.Global.Cfg)
+	s := &Scratch{}
+	for round := 0; round < 2; round++ {
+		s.off = 0 // what ForEachParticipant does at round start
+		var got []Update
+		for i := 0; i < 2; i++ {
+			got = append(got, s.ExtractUpdate(env.Global, i, 3, tuning))
+		}
+		for i, u := range got {
+			want := ExtractUpdate(env.Global, i, 3, tuning)
+			if len(u.Experts) != len(want.Experts) {
+				t.Fatalf("round %d p%d: %d experts, want %d", round, i, len(u.Experts), len(want.Experts))
+			}
+			for key, params := range want.Experts {
+				gp := u.Experts[key]
+				if len(gp) != len(params) {
+					t.Fatalf("round %d p%d %v: %d params, want %d", round, i, key, len(gp), len(params))
+				}
+				for j := range params {
+					if gp[j] != params[j] {
+						t.Fatalf("round %d p%d %v[%d]: %v != %v", round, i, key, j, gp[j], params[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScratchBuffersReusedAcrossRounds checks that the worker scratch stops
+// allocating model/gradient storage once shapes stabilize.
+func TestScratchBuffersReusedAcrossRounds(t *testing.T) {
+	env := parallelTestEnv(t, 2, 1)
+	s := &Scratch{}
+	m1 := s.LocalClone(env.Global)
+	g1 := s.Grads(m1)
+	m2 := s.LocalClone(env.Global)
+	g2 := s.Grads(m2)
+	if m1 != m2 {
+		t.Error("LocalClone allocated a fresh model for an unchanged shape")
+	}
+	if g1 != g2 {
+		t.Error("Grads allocated a fresh accumulator for an unchanged layout")
+	}
+}

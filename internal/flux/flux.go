@@ -82,25 +82,42 @@ func New(opts Options, n int) *Runner {
 // Name implements fed.Rounder.
 func (r *Runner) Name() string { return "flux" }
 
+// participantResult is one participant's contribution to a Flux round,
+// written into its own slot during the parallel fan-out and reduced in
+// participant order afterwards.
+type participantResult struct {
+	update      fed.Update
+	bytes       float64
+	localSec    float64
+	visibleProf float64
+	mergeSec    float64
+	assignSec   float64 // assignment + SPSA probes
+	commSec     float64
+}
+
 // Round implements fed.Rounder: one full Flux round across all
-// participants, returning the simulated per-phase durations.
+// participants, returning the simulated per-phase durations. Participants
+// execute over the environment's worker pool (fed.ForEachParticipant);
+// per-participant RNG streams are split serially up front and all
+// floating-point reduction happens in participant order after the pool
+// joins, so results are bit-identical at every worker count.
 func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	cfg := env.Global.Cfg
-	prof := profile.Profiler{Bits: r.Opts.ProfileBits, TrackSamples: true}
 	eps := r.Opts.Eps.Epsilon(round)
+	n := env.Cfg.Participants
 
-	var updates []fed.Update
-	var maxLocal float64
-	var profMax, mergeMax, assignMax, commMax float64
-	var aggBytes float64
+	// Splitting advances env.RNG, so the per-participant streams must be
+	// derived in index order before any work is dispatched.
+	rngs := make([]*tensor.RNG, n)
+	for i := range rngs {
+		rngs[i] = env.RNG.Split(fmt.Sprintf("p%d/r%d", i, round))
+	}
 
-	for i := 0; i < env.Cfg.Participants; i++ {
-		if env.Canceled() {
-			// Abandon the round: the caller discards partial work.
-			return nil
-		}
+	results := make([]participantResult, n)
+	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
 		dev := env.Devices[i]
-		rng := env.RNG.Split(fmt.Sprintf("p%d/r%d", i, round))
+		rng := rngs[i]
+		prof := profile.Profiler{Bits: r.Opts.ProfileBits, TrackSamples: true}
 
 		// --- Profiling (§4): quantized, stale-pipelined. ---
 		shardSeqs := env.Batch(i, round)
@@ -138,7 +155,7 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 
 		// --- Local fine-tuning (§3) with data selection (§4.1). ---
 		batch := r.selectBatch(env, i, round, stats, a)
-		grads := moe.NewGrads(local, false)
+		grads := ws.Grads(local)
 		tokens := 0
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, s := range batch {
@@ -156,28 +173,45 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		spsaSec := r.probeExploration(i, local, batch, a, dev, cfg, rng.Split("spsa"))
 
 		// --- Upload tuning expert parameters. ---
-		u := fed.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
-		updates = append(updates, u)
+		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
-		aggBytes += bytes
 		commSec := dev.UplinkSeconds(bytes) +
 			dev.UplinkSeconds(float64(capacity)*simtime.ExpertBytes(cfg)) // model sync down
 
 		// Aggregation + assignment happen server-side while the next
 		// profile is computed locally; stale profiling hides the overlap.
-		localSec := mergeSec + trainSec + spsaSec
 		visibleProf := sched.VisibleSeconds(profSec, commSec+assignSec)
 		if round == 0 {
 			visibleProf = profSec // bootstrap profile is on the critical path
 		}
 
-		if localSec > maxLocal {
-			maxLocal = localSec
+		results[i] = participantResult{
+			update:      u,
+			bytes:       bytes,
+			localSec:    mergeSec + trainSec + spsaSec,
+			visibleProf: visibleProf,
+			mergeSec:    mergeSec,
+			assignSec:   assignSec + spsaSec,
+			commSec:     commSec,
 		}
-		profMax = math.Max(profMax, visibleProf)
-		mergeMax = math.Max(mergeMax, mergeSec)
-		assignMax = math.Max(assignMax, assignSec+spsaSec)
-		commMax = math.Max(commMax, commSec)
+	})
+	if err != nil {
+		// Abandon the round: the caller discards partial work.
+		return nil
+	}
+
+	updates := make([]fed.Update, n)
+	var maxLocal float64
+	var profMax, mergeMax, assignMax, commMax float64
+	var aggBytes float64
+	for i, p := range results {
+		updates[i] = p.update
+		aggBytes += p.bytes
+		maxLocal = math.Max(maxLocal, p.localSec)
+		profMax = math.Max(profMax, p.visibleProf)
+		mergeMax = math.Max(mergeMax, p.mergeSec)
+		assignMax = math.Max(assignMax, p.assignSec)
+		commMax = math.Max(commMax, p.commSec)
 	}
 
 	env.ObserveAggregated(fed.Aggregate(env.Global, updates))

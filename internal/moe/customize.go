@@ -171,16 +171,14 @@ func Customize(global *Model, specs []LayerSpec) (*Model, error) {
 	return local, nil
 }
 
-// QuantizedClone returns a copy of m whose expert, gate, attention, and
-// embedding weights have been round-tripped through b-bit quantization.
-// The clone runs real forward passes with real rounding error — it is the
-// profiling model of §4.1.
-func QuantizedClone(m *Model, b quant.Bits) *Model {
-	c := m.Clone()
+// Quantize round-trips m's expert, gate, attention, and embedding weights
+// through b-bit quantization in place, so a scratch-held clone can be
+// re-quantized every round without allocating a whole model.
+func Quantize(m *Model, b quant.Bits) {
 	rt := func(mat *tensor.Matrix) { mat.CopyFrom(quant.RoundTrip(mat, b)) }
-	rt(c.Embed)
-	rt(c.Head)
-	for _, layer := range c.Layers {
+	rt(m.Embed)
+	rt(m.Head)
+	for _, layer := range m.Layers {
 		rt(layer.Wq)
 		rt(layer.Wk)
 		rt(layer.Wv)
@@ -190,6 +188,15 @@ func QuantizedClone(m *Model, b quant.Bits) *Model {
 			rt(e.W2)
 		}
 	}
+}
+
+// QuantizedClone returns a copy of m whose expert, gate, attention, and
+// embedding weights have been round-tripped through b-bit quantization.
+// The clone runs real forward passes with real rounding error — it is the
+// profiling model of §4.1.
+func QuantizedClone(m *Model, b quant.Bits) *Model {
+	c := m.Clone()
+	Quantize(c, b)
 	return c
 }
 

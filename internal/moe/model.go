@@ -59,6 +59,70 @@ func (m *Model) Clone() *Model {
 	return c
 }
 
+// CloneInto deep-copies m into dst, reusing dst's parameter storage when its
+// shape matches m exactly and falling back to a fresh Clone otherwise. It
+// returns the populated model (dst when reuse succeeded). The worker
+// scratches of the federated engine use it so per-round local clones of the
+// global model stop allocating once shapes stabilize; dst == nil is allowed
+// and behaves like Clone.
+func (m *Model) CloneInto(dst *Model) *Model {
+	if !m.sameShape(dst) {
+		return m.Clone()
+	}
+	epl := append(dst.Cfg.ExpertsPerLayer[:0], m.Cfg.ExpertsPerLayer...)
+	dst.Cfg = m.Cfg
+	dst.Cfg.ExpertsPerLayer = epl
+	dst.Embed.CopyFrom(m.Embed)
+	dst.Head.CopyFrom(m.Head)
+	for l, layer := range m.Layers {
+		dl := dst.Layers[l]
+		dl.Wq.CopyFrom(layer.Wq)
+		dl.Wk.CopyFrom(layer.Wk)
+		dl.Wv.CopyFrom(layer.Wv)
+		dl.Gate.CopyFrom(layer.Gate)
+		dl.OrigExperts = layer.OrigExperts
+		dl.TopK = layer.TopK
+		copy(dl.Routing, layer.Routing)
+		for e, src := range layer.Experts {
+			de := dl.Experts[e]
+			de.W1.CopyFrom(src.W1)
+			de.W2.CopyFrom(src.W2)
+			copy(de.B1, src.B1)
+			copy(de.B2, src.B2)
+			de.Frozen = src.Frozen
+			de.MergedFrom = append(de.MergedFrom[:0], src.MergedFrom...)
+		}
+	}
+	return dst
+}
+
+// sameShape reports whether dst has exactly m's parameter layout, so every
+// buffer can be reused by CloneInto.
+func (m *Model) sameShape(dst *Model) bool {
+	if dst == nil || len(dst.Layers) != len(m.Layers) ||
+		dst.Embed.Rows != m.Embed.Rows || dst.Embed.Cols != m.Embed.Cols ||
+		dst.Head.Rows != m.Head.Rows || dst.Head.Cols != m.Head.Cols {
+		return false
+	}
+	for l, layer := range m.Layers {
+		dl := dst.Layers[l]
+		if len(dl.Experts) != len(layer.Experts) || len(dl.Routing) != len(layer.Routing) ||
+			dl.Gate.Rows != layer.Gate.Rows || dl.Gate.Cols != layer.Gate.Cols ||
+			dl.Wq.Rows != layer.Wq.Rows || dl.Wq.Cols != layer.Wq.Cols {
+			return false
+		}
+		for e, src := range layer.Experts {
+			de := dl.Experts[e]
+			if de.W1.Rows != src.W1.Rows || de.W1.Cols != src.W1.Cols ||
+				de.W2.Rows != src.W2.Rows || de.W2.Cols != src.W2.Cols ||
+				len(de.B1) != len(src.B1) || len(de.B2) != len(src.B2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // forwardFull runs the whole model on seq, returning logits and the
 // per-layer caches (nil caches slice if keepCache is false).
 func (m *Model) forwardFull(seq []int, stats *ActivationStats, sampleID int, keepCache bool) (*tensor.Matrix, []*layerCache, *tensor.Matrix, []float64) {

@@ -234,6 +234,35 @@ func (g *Grads) AvgTokenGradNorm(layer, idx int) float64 {
 	return g.TokenGradNorm[layer][idx] / c
 }
 
+// Reset returns a zeroed expert-gradient accumulator shaped like m, reusing
+// g's buffers when the expert layout matches and allocating fresh ones
+// otherwise. A nil receiver is allowed and behaves like NewGrads(m, false);
+// accumulators carrying embedding/head buffers are never reused (those exist
+// only during pre-training). Worker scratches use it so full-model methods
+// stop re-allocating gradient storage every round.
+func (g *Grads) Reset(m *Model) *Grads {
+	if g == nil || g.Embed != nil || len(g.Experts) != len(m.Layers) {
+		return NewGrads(m, false)
+	}
+	for l, layer := range m.Layers {
+		if len(g.Experts[l]) != len(layer.Experts) {
+			return NewGrads(m, false)
+		}
+		for e, eg := range g.Experts[l] {
+			if eg == nil {
+				continue
+			}
+			ex := layer.Experts[e]
+			if eg.W1.Rows != ex.W1.Rows || eg.W1.Cols != ex.W1.Cols ||
+				eg.W2.Rows != ex.W2.Rows || eg.W2.Cols != ex.W2.Cols {
+				return NewGrads(m, false)
+			}
+		}
+	}
+	g.Zero()
+	return g
+}
+
 // Zero clears all accumulated gradients.
 func (g *Grads) Zero() {
 	for l := range g.Experts {

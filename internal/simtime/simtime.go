@@ -14,6 +14,7 @@ package simtime
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/moe"
 )
@@ -167,6 +168,22 @@ func (c *Clock) Advance(phase Phase, sec float64) {
 	}
 	c.seconds += sec
 	c.byPhase[phase] += sec
+}
+
+// AdvanceAll advances the clock by every entry of phases in lexicographic
+// phase order. Iterating a Go map directly would accumulate the total in
+// randomized order and drift its last bit between runs; every round driver
+// must fold a phase map through this method to keep simulated time
+// bit-reproducible.
+func (c *Clock) AdvanceAll(phases map[Phase]float64) {
+	keys := make([]string, 0, len(phases))
+	for p := range phases {
+		keys = append(keys, string(p))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.Advance(Phase(k), phases[Phase(k)])
+	}
 }
 
 // Seconds returns the current simulated time in seconds.

@@ -143,6 +143,31 @@ func TestClock(t *testing.T) {
 	}
 }
 
+// TestClockAdvanceAllDeterministic pins AdvanceAll's accumulation order:
+// values chosen so that summing in a different order changes the total's
+// last bit, which is exactly the drift map iteration used to cause.
+func TestClockAdvanceAllDeterministic(t *testing.T) {
+	phases := map[Phase]float64{
+		PhaseProfiling:  0.1,
+		PhaseMerging:    0.2,
+		PhaseAssignment: 0.3,
+		PhaseFineTuning: 1e9,
+		PhaseComm:       0.7,
+	}
+	want := NewClock()
+	// Lexicographic phase order, folded by repeated Advance.
+	for _, p := range []Phase{PhaseAssignment, PhaseComm, PhaseFineTuning, PhaseMerging, PhaseProfiling} {
+		want.Advance(p, phases[p])
+	}
+	for trial := 0; trial < 20; trial++ {
+		c := NewClock()
+		c.AdvanceAll(phases)
+		if c.Seconds() != want.Seconds() {
+			t.Fatalf("trial %d: AdvanceAll total %v, want %v", trial, c.Seconds(), want.Seconds())
+		}
+	}
+}
+
 func TestModelExpertBytes(t *testing.T) {
 	c := cfg()
 	if ExpertBytes(c) <= 0 || ModelBytes(c) <= ExpertBytes(c) {

@@ -29,6 +29,12 @@ type Config struct {
 	PretrainSteps   int
 	ServerBandwidth float64 // parameter-server ingest/egress bytes/s
 
+	// Workers sets the worker pool the in-process engine fans participant
+	// execution over each round. Zero (the default) uses GOMAXPROCS; one
+	// forces the serial path. Convergence results are bit-identical at every
+	// setting — parallelism changes wall-clock time, never the math.
+	Workers int
+
 	// Target stops the run early once the evaluation score reaches it;
 	// zero runs the full round budget. UseDatasetTarget substitutes the
 	// dataset profile's calibrated time-to-accuracy target.
@@ -88,6 +94,7 @@ func (c Config) EngineConfig() EngineConfig {
 	f.MaxRounds = c.Rounds
 	f.PretrainSteps = c.PretrainSteps
 	f.ServerBw = c.ServerBandwidth
+	f.Workers = c.Workers
 	return f
 }
 
@@ -163,6 +170,14 @@ func WithPretrainSteps(n int) Option { return func(e *Experiment) { e.cfg.Pretra
 func WithServerBandwidth(bw float64) Option {
 	return func(e *Experiment) { e.cfg.ServerBandwidth = bw }
 }
+
+// WithParallelism sets the worker pool the in-process engine fans
+// participant execution over each round: n == 1 forces the serial path,
+// n == 0 (the default) uses GOMAXPROCS. Any setting produces bit-identical
+// convergence curves and phase timings; parallelism only changes wall-clock
+// time. Leave it at the default unless benchmarking the pool itself or
+// pinning the run to a CPU budget shared with other work.
+func WithParallelism(n int) Option { return func(e *Experiment) { e.cfg.Workers = n } }
 
 // WithTarget stops the run early once the evaluation score reaches acc.
 func WithTarget(acc float64) Option {

@@ -1,0 +1,104 @@
+package flux_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	flux "repro"
+)
+
+// parallelConfig is a small-but-real run with enough participants (8) that a
+// workers=8 pool genuinely executes concurrently.
+func parallelConfig(method string, workers int) flux.Config {
+	cfg := flux.DefaultConfig()
+	cfg.Method = method
+	cfg.Seed = "parallel-equality"
+	cfg.Participants = 8
+	cfg.Rounds = 2
+	cfg.Batch = 3
+	cfg.LocalIters = 1
+	cfg.Alpha = 1.0
+	cfg.DatasetSize = 96
+	cfg.EvalSubset = 8
+	cfg.PretrainSteps = 60
+	cfg.Workers = workers
+	return cfg
+}
+
+func runParallelCfg(t *testing.T, cfg flux.Config) *flux.Result {
+	t.Helper()
+	e, err := flux.New(flux.WithConfig(cfg))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestSerialParallelBitEquality asserts the engine's core determinism
+// contract: for every built-in method, the full convergence curve AND the
+// simulated per-phase timings are bit-identical between workers=1 (the
+// serial path) and workers=8 (the pool). Any float that depends on worker
+// scheduling — accumulation order, RNG stream splitting, phase maxima —
+// breaks this test.
+func TestSerialParallelBitEquality(t *testing.T) {
+	for _, method := range []string{"flux", "fmd", "fmq", "fmes"} {
+		t.Run(method, func(t *testing.T) {
+			serial := runParallelCfg(t, parallelConfig(method, 1))
+			parallel := runParallelCfg(t, parallelConfig(method, 8))
+
+			if len(serial.Events) != len(parallel.Events) {
+				t.Fatalf("curve lengths differ: serial %d, parallel %d", len(serial.Events), len(parallel.Events))
+			}
+			for i := range serial.Events {
+				a, b := serial.Events[i], parallel.Events[i]
+				if a.Round != b.Round {
+					t.Fatalf("event %d: rounds %d vs %d", i, a.Round, b.Round)
+				}
+				if a.Score != b.Score {
+					t.Errorf("round %d: score %v (serial) != %v (parallel)", a.Round, a.Score, b.Score)
+				}
+				if a.UplinkBytes != b.UplinkBytes {
+					t.Errorf("round %d: uplink %v != %v", a.Round, a.UplinkBytes, b.UplinkBytes)
+				}
+				if a.ExpertsTouched != b.ExpertsTouched {
+					t.Errorf("round %d: experts touched %d != %d", a.Round, a.ExpertsTouched, b.ExpertsTouched)
+				}
+				if a.SimHours != b.SimHours {
+					t.Errorf("round %d: sim hours %v != %v", a.Round, a.SimHours, b.SimHours)
+				}
+				if err := samePhases(a.Phases, b.Phases); err != nil {
+					t.Errorf("round %d: %v", a.Round, err)
+				}
+			}
+			if serial.Final != parallel.Final || serial.Baseline != parallel.Baseline {
+				t.Errorf("summary scores differ: serial final=%v baseline=%v, parallel final=%v baseline=%v",
+					serial.Final, serial.Baseline, parallel.Final, parallel.Baseline)
+			}
+			if err := samePhases(serial.Phases, parallel.Phases); err != nil {
+				t.Errorf("aggregate phase breakdown: %v", err)
+			}
+		})
+	}
+}
+
+// samePhases requires two per-phase timing maps to be bit-identical.
+func samePhases(a, b map[string]float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("phase maps differ in size: %v vs %v", a, b)
+	}
+	for phase, va := range a {
+		vb, ok := b[phase]
+		if !ok {
+			return fmt.Errorf("phase %q missing from parallel run", phase)
+		}
+		if va != vb {
+			return fmt.Errorf("phase %q: %v (serial) != %v (parallel)", phase, va, vb)
+		}
+	}
+	return nil
+}

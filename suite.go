@@ -10,11 +10,29 @@ import (
 // presentation order ("table1", "figure1", ... "figure20").
 func Experiments() []string { return experiments.Order() }
 
+// ExperimentOptions controls how RunExperimentOpts regenerates a table or
+// figure.
+type ExperimentOptions struct {
+	// Quick shrinks rounds and sample counts (same workload shapes) so the
+	// whole suite completes in minutes.
+	Quick bool
+	// Parallelism is the per-round participant worker count the federated
+	// runs execute with; zero means GOMAXPROCS, one forces serial. Every
+	// setting produces bit-identical tables.
+	Parallelism int
+}
+
 // RunExperiment regenerates one table or figure of the paper's evaluation
 // and writes the rendered result to w. Quick mode shrinks rounds and sample
 // counts (same workload shapes) so the whole suite completes in minutes.
 func RunExperiment(id string, quick bool, w io.Writer) error {
-	tab, err := experiments.Run(id, experiments.Options{Quick: quick})
+	return RunExperimentOpts(id, ExperimentOptions{Quick: quick}, w)
+}
+
+// RunExperimentOpts is RunExperiment with full control over experiment
+// execution, including participant-phase parallelism.
+func RunExperimentOpts(id string, opts ExperimentOptions, w io.Writer) error {
+	tab, err := experiments.Run(id, experiments.Options{Quick: opts.Quick, Parallelism: opts.Parallelism})
 	if err != nil {
 		return err
 	}
