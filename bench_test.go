@@ -16,6 +16,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/fed"
+	"repro/internal/fleet"
 	"repro/internal/flux/profile"
 	"repro/internal/methods"
 	"repro/internal/moe"
@@ -71,40 +72,60 @@ func BenchmarkFigure19Epsilon(b *testing.B)     { benchExperiment(b, "figure19")
 func BenchmarkFigure20Overhead(b *testing.B)    { benchExperiment(b, "figure20") }
 
 // BenchmarkRound measures one synchronous federated round of each built-in
-// method across participant-pool widths. It is the headline number for the
-// parallel execution layer: the curve from workers=1 to workers=8 is the
-// wall-clock speedup the pool buys on this machine, with results
-// bit-identical at every width (TestSerialParallelBitEquality pins that).
-// CI runs it and publishes BENCH_round.json (see cmd/benchjson).
+// method across participant-pool widths, plus a heterogeneous-fleet case
+// (longtail profiles, a sampled cohort of 6, and a drop deadline) so the
+// cohort-selection and straggler-resolution path is tracked alongside the
+// homogeneous one. It is the headline number for the parallel execution
+// layer: the curve from workers=1 to workers=8 is the wall-clock speedup the
+// pool buys on this machine, with results bit-identical at every width
+// (TestSerialParallelBitEquality pins that). CI runs it and publishes
+// BENCH_round.json (see cmd/benchjson, whose name parsing tolerates the
+// extra fleet dimension).
 func BenchmarkRound(b *testing.B) {
+	runCase := func(b *testing.B, method string, workers, participants int, spec fleet.Spec) {
+		cfg := fed.DefaultConfig()
+		cfg.Participants = participants
+		cfg.Batch = 3
+		cfg.LocalIters = 1
+		cfg.DatasetSize = 96
+		cfg.EvalSubset = 8
+		cfg.PretrainSteps = 60
+		cfg.Workers = workers
+		cfg.Fleet = spec
+		env, err := fed.NewEnv(moe.SimConfigLLaMATrain(), data.GSM8K(), cfg, "bench-round")
+		if err != nil {
+			b.Fatal(err)
+		}
+		env = env.CloneForMethod("bench-round/" + method)
+		r, err := methods.New(method, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Round(env, i)
+			env.TakeRoundObs()
+		}
+	}
+	hetero := fleet.Spec{
+		Distribution: "longtail",
+		Selector:     fleet.SelectorSpec{Policy: "uniform", K: 6},
+		Deadline:     8000,
+		Drop:         true,
+		Seed:         "bench",
+	}
 	for _, method := range []string{"flux", "fmd"} {
 		for _, workers := range []int{1, 2, 8} {
 			b.Run(fmt.Sprintf("method=%s/workers=%d", method, workers), func(b *testing.B) {
-				cfg := fed.DefaultConfig()
-				cfg.Participants = 8
-				cfg.Batch = 3
-				cfg.LocalIters = 1
-				cfg.DatasetSize = 96
-				cfg.EvalSubset = 8
-				cfg.PretrainSteps = 60
-				cfg.Workers = workers
-				env, err := fed.NewEnv(moe.SimConfigLLaMATrain(), data.GSM8K(), cfg, "bench-round")
-				if err != nil {
-					b.Fatal(err)
-				}
-				env = env.CloneForMethod("bench-round/" + method)
-				r, err := methods.New(method, cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					r.Round(env, i)
-					env.TakeRoundObs()
-				}
+				runCase(b, method, workers, 8, fleet.Spec{})
 			})
 		}
+		// 12 participants so round-robin assignment of the 9-profile longtail
+		// distribution actually lands a straggler (index 8) in the fleet.
+		b.Run(fmt.Sprintf("method=%s/workers=8/fleet=longtail", method), func(b *testing.B) {
+			runCase(b, method, 8, 12, hetero)
+		})
 	}
 }
 

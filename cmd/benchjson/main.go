@@ -25,6 +25,14 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// Params are the key=value dimensions of the sub-benchmark name, e.g.
+	// "BenchmarkRound/method=flux/workers=8/fleet=longtail" yields
+	// {method: flux, workers: 8, fleet: longtail}. The parse is shape-
+	// agnostic: any number of `/`-separated pairs in any order, with
+	// non-pair segments ignored, so adding a new benchmark dimension never
+	// breaks publishing.
+	Params map[string]string `json:"params,omitempty"`
 }
 
 func main() {
@@ -64,7 +72,8 @@ func parseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
+	name := trimProcSuffix(fields[0])
+	r := Result{Name: name, Iterations: iters, Params: parseParams(name)}
 	seen := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -95,4 +104,24 @@ func trimProcSuffix(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// parseParams extracts the key=value dimensions of a sub-benchmark name.
+// Segments without a '=' (including the leading BenchmarkXxx) are skipped;
+// a duplicated key keeps the last value, matching go test's own sub-test
+// naming. Nil is returned when the name carries no dimensions, so plain
+// benchmarks serialize without a params object.
+func parseParams(name string) map[string]string {
+	var params map[string]string
+	for _, seg := range strings.Split(name, "/")[1:] {
+		k, v, ok := strings.Cut(seg, "=")
+		if !ok || k == "" {
+			continue
+		}
+		if params == nil {
+			params = make(map[string]string)
+		}
+		params[k] = v
+	}
+	return params
 }

@@ -1,17 +1,24 @@
 // Command fluxsim regenerates the paper's tables and figures on the Go
-// substrate.
+// substrate, and runs fleet scenario files.
 //
 // Usage:
 //
-//	fluxsim -exp figure10          # one experiment, full scale
-//	fluxsim -exp all -quick        # the whole suite at bench scale
-//	fluxsim -list                  # show available experiment ids
+//	fluxsim -exp figure10            # one experiment, full scale
+//	fluxsim -exp all -quick          # the whole suite at bench scale
+//	fluxsim -exp figure10 -fleet longtail
+//	                                 # a paper experiment on a built-in
+//	                                 # heterogeneous fleet distribution
+//	fluxsim -list                    # show available experiment ids
+//	fluxsim -scenario scenarios/straggler-drop.json
+//	                                 # one fleet scenario: heterogeneous
+//	                                 # profiles, cohort selection, deadlines
 //
 // The exit status is non-zero if any requested experiment fails; remaining
 // experiments still run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,8 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, figure1, ... figure20) or 'all'")
+	scenario := flag.String("scenario", "", "fleet scenario file (JSON); overrides -exp")
+	fleetDist := flag.String("fleet", "", "run -exp experiments under a built-in fleet distribution (uniform, tiered, longtail, flaky)")
 	quick := flag.Bool("quick", false, "reduced rounds/samples; same workload shapes")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "participant worker pool per round (1 = serial); results are bit-identical at any setting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -33,6 +42,27 @@ func main() {
 		fmt.Println(strings.Join(flux.Experiments(), "\n"))
 		return
 	}
+	if *scenario != "" {
+		// A scenario file fixes its own scale and fleet; refuse flags that
+		// would be silently ignored (-exp alone is documented as overridden).
+		if *quick || *fleetDist != "" {
+			fmt.Fprintln(os.Stderr, "fluxsim: -scenario cannot be combined with -quick or -fleet (the scenario file fixes scale and fleet)")
+			os.Exit(1)
+		}
+		if err := runScenario(*scenario, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "fluxsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var fleetSpec flux.FleetSpec
+	if *fleetDist != "" {
+		if _, err := flux.FleetDistribution(*fleetDist); err != nil {
+			fmt.Fprintln(os.Stderr, "fluxsim:", err)
+			os.Exit(1)
+		}
+		fleetSpec.Distribution = *fleetDist
+	}
 	ids := flux.Experiments()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
@@ -41,7 +71,7 @@ func main() {
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
-		if err := flux.RunExperimentOpts(id, flux.ExperimentOptions{Quick: *quick, Parallelism: *workers}, os.Stdout); err != nil {
+		if err := flux.RunExperimentOpts(id, flux.ExperimentOptions{Quick: *quick, Parallelism: *workers, Fleet: fleetSpec}, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "fluxsim:", err)
 			failed++
 			continue
@@ -52,4 +82,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fluxsim: %d of %d experiments failed\n", failed, len(ids))
 		os.Exit(1)
 	}
+}
+
+// runScenario executes one fleet scenario file, streaming per-round
+// participation and timing so straggler and selection effects are visible.
+func runScenario(path string, workers int) error {
+	s, err := flux.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	cfg := s.Config()
+	fmt.Printf("== scenario %s ==\n", s.Name)
+	if s.Description != "" {
+		fmt.Printf("  %s\n", s.Description)
+	}
+	fmt.Printf("  method=%s dataset=%s model=%s participants=%d rounds=%d\n",
+		cfg.Method, cfg.Dataset, cfg.Model, cfg.Participants, cfg.Rounds)
+
+	opts := append(s.Options(),
+		flux.WithParallelism(workers),
+		flux.WithRoundEvents(func(ev flux.RoundEvent) {
+			if ev.Round == 0 {
+				fmt.Printf("  baseline score=%.4f\n", ev.Score)
+				return
+			}
+			var roundSec float64
+			for _, v := range ev.Phases {
+				roundSec += v
+			}
+			line := fmt.Sprintf("  round %2d  score=%.4f  t=%6.2fh  round=%6.0fs  cohort %d/%d",
+				ev.Round, ev.Score, ev.SimHours, roundSec, ev.Completed, ev.Selected)
+			if ev.Dropped > 0 {
+				line += fmt.Sprintf("  dropped=%d  idle=%.0fs", ev.Dropped, ev.Phases[string(flux.PhaseStraggler)])
+			}
+			fmt.Println(line)
+		}),
+	)
+	e, err := flux.New(opts...)
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  final=%.4f best=%.4f simulated=%.2fh uplink=%.1fMB participation=%d/%d (dropped %d)\n\n",
+		res.Final, res.Best, res.SimHours, res.UplinkBytes/1e6, res.Completed, res.Selected, res.Dropped)
+	return nil
 }

@@ -38,6 +38,21 @@
 // allocation-lean. fluxtest's ParallelDeterminism check enforces the
 // contract on built-ins and third-party methods alike.
 //
+// Heterogeneous fleets are a first-class axis. A FleetSpec (WithFleet,
+// WithFleetDistribution, WithSelector, WithDeadline) gives each participant
+// a device profile — compute and uplink/downlink multipliers plus per-round
+// availability, from a built-in distribution ("uniform", "tiered",
+// "longtail", "flaky"), explicit profiles, or a JSON AvailabilityTrace —
+// restricts each round to a selected cohort ("all", "uniform",
+// "power-of-choice", "bandwidth"-aware over-provisioning; deterministic and
+// idempotent in the fleet seed and round, independent of training
+// randomness), and optionally enforces a straggler deadline with drop or
+// wait semantics. The zero FleetSpec is inactive and bit-identical to the
+// pre-fleet engine. Scenario files (LoadScenario; `fluxsim -scenario`, with
+// shipped examples under scenarios/) bundle experiment axes and a fleet
+// spec as one reviewable JSON artifact, and RoundEvent reports each round's
+// Selected/Completed/Dropped counts and straggler-wait idle time.
+//
 // Per-round accuracy, simulated time, and wire traffic stream out through
 // RoundEvent callbacks (WithRoundEvents). Serve and Join run the
 // cross-machine parameter-server deployment that cmd/fluxserver and

@@ -105,6 +105,11 @@ const (
 	PhaseAssignment = simtime.PhaseAssignment
 	PhaseFineTuning = simtime.PhaseFineTuning
 	PhaseComm       = simtime.PhaseComm
+
+	// PhaseStraggler is server idle time at a straggler deadline (drop
+	// policy only): the shortfall between the last kept participant and the
+	// deadline the server waited out.
+	PhaseStraggler = simtime.PhaseStraggler
 )
 
 // NewEnv materializes the federated environment cfg describes: synthesizes
@@ -156,6 +161,26 @@ func NewGrads(m *Model) *Grads { return moe.NewGrads(m, false) }
 func ForEachParticipant(env *Env, fn func(s *Scratch, i int)) error {
 	return fed.ForEachParticipant(env, fn)
 }
+
+// ForEachCohort executes fn once for every listed participant over the
+// environment's worker pool, handing each invocation its worker's Scratch,
+// the participant's slot in the cohort, and the participant index. It is the
+// cohort-aware counterpart of ForEachParticipant: a fleet-aware Rounder
+// resolves the round's cohort with env.Cohort(r), fans work out with
+// ForEachCohort(env, cohort, ...), writes results by slot, and reduces in
+// slot order; end-to-end per-participant seconds then go through
+// env.ResolveStragglers so the configured deadline and drop policy apply.
+// The determinism and cancellation contract is ForEachParticipant's.
+func ForEachCohort(env *Env, cohort []int, fn func(s *Scratch, slot, participant int)) error {
+	return fed.ForEachOf(env, cohort, fn)
+}
+
+// StragglerOutcome is env.ResolveStragglers' verdict: which cohort slots
+// made the deadline. env.AddStragglerWait attributes the server's idle tail
+// at the deadline — the shortfall between the deadline and the kept
+// cohort's participant window — to the PhaseStraggler entry of a Rounder's
+// phase map when the drop policy cut someone.
+type StragglerOutcome = fed.StragglerOutcome
 
 // TuneAllExperts returns per-layer expert-id lists naming every expert of m
 // — the tuning set of a full-model method, and exactly what the TCP wire

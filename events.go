@@ -18,8 +18,20 @@ type RoundEvent struct {
 	UplinkBytes float64
 	// ExpertsTouched is how many distinct experts aggregation updated.
 	ExpertsTouched int
+	// Selected is how many participants the cohort selector picked for the
+	// round (the full fleet without an active FleetSpec); Completed is how
+	// many updates the server aggregated, and Dropped = Selected -
+	// Completed. Under a drop deadline Completed counts participants that
+	// finished in time — except when the whole cohort misses it, where the
+	// server waits past the deadline for the single fastest update
+	// (Completed = 1, and the round's phase sum exceeds the deadline).
+	// Zero on round 0 and on transports that do not model fleets.
+	Selected  int
+	Completed int
+	Dropped   int
 	// Phases breaks the round's simulated seconds down by phase
-	// (profiling, merging, assignment, fine-tuning, communication);
+	// (profiling, merging, assignment, fine-tuning, communication, and
+	// straggler-wait when a drop deadline leaves the server idle);
 	// nil for transports that do not model phase time.
 	Phases map[string]float64
 }

@@ -1,0 +1,55 @@
+package flux
+
+import (
+	"repro/internal/fleet"
+)
+
+// This file is the public face of the fleet simulation subsystem
+// (internal/fleet): heterogeneous device profiles, availability traces,
+// cohort selection policies, and straggler deadlines. A fleet is configured
+// with WithFleet/WithSelector/WithDeadline (or a scenario file, see
+// Scenario); the zero FleetSpec is inactive and every run under it is
+// bit-identical to a run without the subsystem.
+
+// FleetProfile models one device class: multipliers over the participant's
+// assigned consumer-GPU tier (compute throughput, uplink and downlink
+// bandwidth) plus a per-round availability probability. Zero fields
+// normalize to the identity, so a partially specified JSON profile means
+// "unchanged".
+type FleetProfile = fleet.Profile
+
+// FleetSpec is the full fleet description an experiment runs under: device
+// profiles (explicit or a named distribution), availability (probabilistic
+// or an explicit trace), the cohort selection policy, and the straggler
+// deadline. The zero value is inactive.
+type FleetSpec = fleet.Spec
+
+// SelectorSpec describes a cohort selection policy: "all" (default),
+// "uniform" (K sampled uniformly), "power-of-choice" (per-slot best of
+// Choices candidates by device speed), or "bandwidth" (invite
+// K + ceil(K*OverProvision) devices, keep the K fastest uplinks).
+type SelectorSpec = fleet.SelectorSpec
+
+// AvailabilityTrace is an explicit per-round availability schedule:
+// Rounds[r] lists the reachable participant indices, cycling when the run
+// outlives the trace.
+type AvailabilityTrace = fleet.Trace
+
+// UniformProfile returns the identity device profile: unchanged hardware,
+// always available.
+func UniformProfile() FleetProfile { return fleet.Uniform() }
+
+// FleetDistributions returns the names of the built-in synthetic fleet
+// distributions: "uniform", "tiered", "longtail", and "flaky".
+func FleetDistributions() []string { return fleet.Distributions() }
+
+// FleetDistribution returns the named built-in profile set; profiles are
+// assigned to participants round-robin.
+func FleetDistribution(name string) ([]FleetProfile, error) { return fleet.Distribution(name) }
+
+// SelectionPolicies returns the known cohort selection policy names.
+func SelectionPolicies() []string { return fleet.Policies() }
+
+// LoadAvailabilityTrace reads a JSON availability trace file
+// ({"rounds": [[0,1,2], ...]}).
+func LoadAvailabilityTrace(path string) (*AvailabilityTrace, error) { return fleet.LoadTrace(path) }

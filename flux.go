@@ -107,8 +107,15 @@ type Result struct {
 	SimHours               float64 // simulated time (in-process transport)
 	Elapsed                time.Duration
 	UplinkBytes            float64 // total update payload uploaded
-	Phases                 map[string]float64
-	Events                 []RoundEvent // the full convergence curve, round 0 included
+	// Selected/Completed/Dropped total the per-round participation census
+	// over the run (zero without an active FleetSpec-aware transport):
+	// cohort members picked, of those aggregated within the straggler
+	// deadline, and of those cut by the drop policy.
+	Selected  int
+	Completed int
+	Dropped   int
+	Phases    map[string]float64
+	Events    []RoundEvent // the full convergence curve, round 0 included
 }
 
 func (e *Experiment) ensureEnv(ctx context.Context) (*Env, error) {
@@ -204,6 +211,9 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		clock.AdvanceAll(phases) // sorted: simulated time accumulates bit-reproducibly
 		res.Rounds = r + 1
 		res.UplinkBytes += stats.UplinkBytes
+		res.Selected += stats.Selected
+		res.Completed += stats.Completed
+		res.Dropped += stats.Dropped
 		score = env.Evaluate()
 		if score > res.Best {
 			res.Best = score
@@ -215,6 +225,9 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 			Elapsed:        time.Since(start),
 			UplinkBytes:    stats.UplinkBytes,
 			ExpertsTouched: stats.ExpertsTouched,
+			Selected:       stats.Selected,
+			Completed:      stats.Completed,
+			Dropped:        stats.Dropped,
 			Phases:         stats.Phases,
 		})
 		if target > 0 && score >= target {

@@ -157,6 +157,35 @@ func TestRounder(t *testing.T, s RounderSpec) {
 		}
 	})
 
+	t.Run("FleetDeterminism", func(t *testing.T) {
+		// The fleet contract: under heterogeneous profiles, cohort
+		// selection, and a drop deadline, two runs with the same seed are
+		// bit-identical — including the per-round participation census —
+		// and so are serial and pooled execution. A Rounder that ignores
+		// cohorts (running every participant via ForEachParticipant) passes
+		// as long as it is deterministic; one that consumes env.Cohort must
+		// derive randomness and reduce in cohort order.
+		fcfg := QuickConfig("fluxtest/fleet/"+s.Name, method)
+		fcfg.Fleet = flux.FleetSpec{
+			Distribution: "tiered",
+			Selector:     flux.SelectorSpec{Policy: "uniform", K: 2},
+			Deadline:     20000,
+			Drop:         true,
+			Seed:         "fluxtest",
+		}
+		a := runOnce(t, fcfg, nil)
+		b := runOnce(t, fcfg, nil)
+		assertSameCurves(t, a, b, "first fleet run", "second fleet run")
+		assertSameCensus(t, a, b, "first fleet run", "second fleet run")
+		for _, workers := range []int{1, 8} {
+			wcfg := fcfg
+			wcfg.Workers = workers
+			got := runOnce(t, wcfg, nil)
+			assertSameCurves(t, a, got, "default-workers fleet run", fmt.Sprintf("workers=%d fleet run", workers))
+			assertSameCensus(t, a, got, "default-workers fleet run", fmt.Sprintf("workers=%d fleet run", workers))
+		}
+	})
+
 	t.Run("EventStream", func(t *testing.T) {
 		if reference == nil {
 			t.Skip("no reference run (Determinism failed)")
@@ -364,6 +393,22 @@ func assertSameCurves(t *testing.T, a, b *flux.Result, aName, bName string) {
 	if a.Final != b.Final || a.Baseline != b.Baseline {
 		t.Fatalf("summary scores differ: %s final=%v baseline=%v, %s final=%v baseline=%v",
 			aName, a.Final, a.Baseline, bName, b.Final, b.Baseline)
+	}
+}
+
+// assertSameCensus requires two results to agree on the per-round
+// participation census (cohort selected / completed within deadline). It is
+// a separate check from assertSameCurves because transports that do not
+// model fleets (TCP) legitimately report a zero census.
+func assertSameCensus(t *testing.T, a, b *flux.Result, aName, bName string) {
+	t.Helper()
+	for i := range a.Events {
+		ea, eb := a.Events[i], b.Events[i]
+		if ea.Selected != eb.Selected || ea.Completed != eb.Completed || ea.Dropped != eb.Dropped {
+			t.Fatalf("round %d: participation census differs: %s=%d/%d/%d %s=%d/%d/%d",
+				ea.Round, aName, ea.Selected, ea.Completed, ea.Dropped,
+				bName, eb.Selected, eb.Completed, eb.Dropped)
+		}
 	}
 }
 

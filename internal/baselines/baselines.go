@@ -51,8 +51,9 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	tuning := identityTuning(cfg)
 	total := env.TotalExperts()
 
-	results := make([]baselineResult, env.Cfg.Participants)
-	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
+	cohort := env.Cohort(round)
+	results := make([]baselineResult, len(cohort))
+	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
 		local := ws.LocalClone(env.Global)
 		grads := ws.Grads(local)
@@ -74,39 +75,55 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
-		results[i] = baselineResult{
+		results[slot] = baselineResult{
 			update:   u,
 			bytes:    bytes,
 			localSec: trainSec + offloadSec,
-			commSec:  dev.UplinkSeconds(bytes) + dev.UplinkSeconds(simtime.ModelBytes(cfg)),
+			commSec:  dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(simtime.ModelBytes(cfg)),
 		}
 	})
 	if err != nil {
 		return nil
 	}
-
-	updates, aggBytes, maxLocal, _, commMax := reduceResults(results)
-	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
-	env.ObserveUplink(aggBytes)
-	return map[simtime.Phase]float64{
-		simtime.PhaseFineTuning: maxLocal,
-		simtime.PhaseComm:       commMax + aggBytes/env.Cfg.ServerBw,
-	}
+	return finishRound(env, cohort, results)
 }
 
-// reduceResults folds per-participant results in participant-index order, so
-// the floating-point byte sum and phase maxima are independent of worker
-// scheduling.
-func reduceResults(results []baselineResult) (updates []fed.Update, aggBytes, maxLocal, profMax, commMax float64) {
-	updates = make([]fed.Update, len(results))
-	for i, p := range results {
-		updates[i] = p.update
+// finishRound is the shared baseline reduction: resolve stragglers against
+// the deadline, aggregate the kept updates in cohort order, report the
+// round's census, and build the phase map. All floating-point folding runs
+// in cohort order, so results are independent of worker scheduling.
+func finishRound(env *fed.Env, cohort []int, results []baselineResult) map[simtime.Phase]float64 {
+	totals := make([]float64, len(results))
+	for slot, p := range results {
+		totals[slot] = p.localSec + p.profSec + p.commSec
+	}
+	outcome := env.ResolveStragglers(totals)
+
+	updates := make([]fed.Update, 0, outcome.Kept)
+	var aggBytes, maxLocal, profMax, commMax float64
+	for slot, p := range results {
+		if !outcome.Keep[slot] {
+			continue
+		}
+		updates = append(updates, p.update)
 		aggBytes += p.bytes
 		maxLocal = math.Max(maxLocal, p.localSec)
 		profMax = math.Max(profMax, p.profSec)
 		commMax = math.Max(commMax, p.commSec)
 	}
-	return updates, aggBytes, maxLocal, profMax, commMax
+	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
+	env.ObserveUplink(aggBytes)
+	env.ObserveCohort(len(cohort), outcome.Kept)
+
+	phases := map[simtime.Phase]float64{
+		simtime.PhaseFineTuning: maxLocal,
+		simtime.PhaseComm:       commMax + aggBytes/env.Cfg.ServerBw,
+	}
+	if profMax > 0 {
+		phases[simtime.PhaseProfiling] = profMax
+	}
+	env.AddStragglerWait(phases, outcome, maxLocal+profMax+commMax)
+	return phases
 }
 
 // FMQ fine-tunes an INT-quantized model.
@@ -130,8 +147,9 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		bits = quant.Bits4
 	}
 
-	results := make([]baselineResult, env.Cfg.Participants)
-	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
+	cohort := env.Cohort(round)
+	results := make([]baselineResult, len(cohort))
+	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
 		// The local working copy lives on the quantization grid.
 		local := ws.LocalClone(env.Global)
@@ -155,24 +173,17 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u) * float64(bits) / 32
-		results[i] = baselineResult{
+		results[slot] = baselineResult{
 			update:   u,
 			bytes:    bytes,
 			localSec: trainSec + dev.QuantizeSeconds(cfg),
-			commSec:  dev.UplinkSeconds(bytes) + dev.UplinkSeconds(simtime.ModelBytes(cfg)*float64(bits)/32),
+			commSec:  dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(simtime.ModelBytes(cfg)*float64(bits)/32),
 		}
 	})
 	if err != nil {
 		return nil
 	}
-
-	updates, aggBytes, maxLocal, _, commMax := reduceResults(results)
-	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
-	env.ObserveUplink(aggBytes)
-	return map[simtime.Phase]float64{
-		simtime.PhaseFineTuning: maxLocal,
-		simtime.PhaseComm:       commMax + aggBytes/env.Cfg.ServerBw,
-	}
+	return finishRound(env, cohort, results)
 }
 
 func requantizeExperts(m *moe.Model, bits quant.Bits) {
@@ -202,8 +213,9 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	cfg := env.Global.Cfg
 	prof := profile.Profiler{Bits: s.ProfileBits}
 
-	results := make([]baselineResult, env.Cfg.Participants)
-	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
+	cohort := env.Cohort(round)
+	results := make([]baselineResult, len(cohort))
+	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
 		batch := env.Batch(i, round)
 		// Fresh profiling each round (FMES has no stale pipeline).
@@ -232,27 +244,19 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
-		results[i] = baselineResult{
+		results[slot] = baselineResult{
 			update:   u,
 			bytes:    bytes,
 			localSec: trainSec,
 			profSec:  profSec,
 			commSec: dev.UplinkSeconds(bytes) +
-				dev.UplinkSeconds(float64(tune)*simtime.ExpertBytes(cfg)),
+				dev.DownlinkSeconds(float64(tune)*simtime.ExpertBytes(cfg)),
 		}
 	})
 	if err != nil {
 		return nil
 	}
-
-	updates, aggBytes, maxLocal, profMax, commMax := reduceResults(results)
-	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
-	env.ObserveUplink(aggBytes)
-	return map[simtime.Phase]float64{
-		simtime.PhaseProfiling:  profMax,
-		simtime.PhaseFineTuning: maxLocal,
-		simtime.PhaseComm:       commMax + aggBytes/env.Cfg.ServerBw,
-	}
+	return finishRound(env, cohort, results)
 }
 
 // topByFrequency picks the budget highest-frequency experts across all

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/fed"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/moe"
 )
@@ -31,6 +33,24 @@ type Options struct {
 	// serial. Results are bit-identical at every setting, so runMemo safely
 	// ignores it.
 	Parallelism int
+
+	// Fleet applies a heterogeneous-fleet spec (profiles, cohort selection,
+	// straggler deadline) to every federated run of the experiment. The
+	// zero Spec reproduces the homogeneous full-participation figures;
+	// runMemo keys on it because results depend on it.
+	Fleet fleet.Spec
+}
+
+// fleetKey fingerprints the fleet spec for memoization keys.
+func fleetKey(s fleet.Spec) string {
+	if !s.Active() {
+		return ""
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Sprintf("%+v", s)
+	}
+	return string(blob)
 }
 
 // Table is a printable experiment result.
@@ -87,6 +107,7 @@ func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func trainConfig(o Options) fed.Config {
 	cfg := fed.DefaultConfig()
 	cfg.Workers = o.Parallelism
+	cfg.Fleet = o.Fleet
 	if o.Quick {
 		cfg.Participants = 6
 		cfg.Batch = 5

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/fleet"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -90,5 +92,19 @@ func TestFigure16FusedFaster(t *testing.T) {
 		if speedup <= 1 {
 			t.Fatalf("fused clustering should be faster: %v", row)
 		}
+	}
+}
+
+// TestOptionsFleetIsLive pins that Options.Fleet is reachable plumbing: it
+// lands in the federated training config and distinguishes memoization keys,
+// so two runs of the same experiment under different fleets never share a
+// cached result.
+func TestOptionsFleetIsLive(t *testing.T) {
+	spec := fleet.Spec{Distribution: "longtail"}
+	if got := trainConfig(Options{Fleet: spec}).Fleet.Distribution; got != "longtail" {
+		t.Fatalf("fleet not plumbed into the train config: %q", got)
+	}
+	if fleetKey(spec) == fleetKey(fleet.Spec{}) {
+		t.Fatal("memo key ignores the fleet spec")
 	}
 }

@@ -170,13 +170,19 @@ func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	// consumes updates in participant order, keeping the curve bit-identical
 	// at every worker count.
 	cfg := env.Global.Cfg
-	n := env.Cfg.Participants
-	rngs := make([]*tensor.RNG, n)
-	for i := range rngs {
-		rngs[i] = env.RNG.Split(fmt.Sprintf("fig3/%d/%d", i, round))
+	cohort := env.Cohort(round)
+	rngs := make([]*tensor.RNG, len(cohort))
+	for slot, i := range cohort {
+		rngs[slot] = env.RNG.Split(fmt.Sprintf("fig3/%d/%d", i, round))
 	}
-	updates := make([]fed.Update, n)
-	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
+	updates := make([]fed.Update, len(cohort))
+	// Per-participant end-to-end seconds, priced with FMES's cost model, so
+	// a straggler deadline drops the same devices in both Figure-3 arms.
+	// Figure 3 itself reports accuracy only (the phase map stays a
+	// placeholder), but participation must match the comparison arm.
+	totals := make([]float64, len(cohort))
+	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
+		dev := env.Devices[i]
 		prof := profile.Profiler{Bits: quant.Bits4, TrackSamples: true}
 		batch := env.Batch(i, round)
 		res := prof.Run(env.Global, batch)
@@ -184,7 +190,7 @@ func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		tuning := baselines.TopByFrequency(res.Stats, cfg, tune)
 		opt := merge.DefaultOptions()
 		opt.Policy = merge.BudgetSingle
-		plan, err := merge.BuildPlan(env.Global, res.Stats, tuning, cfg.Layers(), opt, rngs[i])
+		plan, err := merge.BuildPlan(env.Global, res.Stats, tuning, cfg.Layers(), opt, rngs[slot])
 		if err != nil {
 			panic(err)
 		}
@@ -193,19 +199,38 @@ func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 			panic(err)
 		}
 		grads := ws.Grads(local)
+		tokens := 0
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, s := range batch {
 				seq, mask := s.FullSequence()
 				local.ForwardBackward(seq, mask, grads, nil, -1)
+				tokens += len(seq)
 			}
 			local.ApplySGD(grads, env.Cfg.LR/float64(len(batch)))
 		}
-		updates[i] = ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
+		updates[slot] = ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
+
+		total := env.TotalExperts()
+		if total < 1 {
+			total = 1
+		}
+		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, float64(tune)/float64(total)))
+		bytes := fed.UpdateBytes(updates[slot])
+		totals[slot] = res.Seconds(dev, cfg) + trainSec +
+			dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(float64(tune)*simtime.ExpertBytes(cfg))
 	})
 	if err != nil {
 		return nil
 	}
-	fed.Aggregate(env.Global, updates)
+	outcome := env.ResolveStragglers(totals)
+	kept := make([]fed.Update, 0, outcome.Kept)
+	for slot := range updates {
+		if outcome.Keep[slot] {
+			kept = append(kept, updates[slot])
+		}
+	}
+	fed.Aggregate(env.Global, kept)
+	env.ObserveCohort(len(cohort), outcome.Kept)
 	return map[simtime.Phase]float64{simtime.PhaseFineTuning: 1}
 }
 

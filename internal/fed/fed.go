@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/eval"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/moe"
 	"repro/internal/simtime"
@@ -46,6 +47,13 @@ type Config struct {
 	// path. Convergence results are bit-identical at every setting — the
 	// parallel layer only changes wall-clock time, never the math.
 	Workers int
+
+	// Fleet describes heterogeneity: per-participant device profiles,
+	// availability, cohort selection, and straggler deadlines. The zero
+	// Spec is inactive — uniform devices, everyone participates every
+	// round, no deadline — and produces bit-identical results to runs
+	// predating the fleet subsystem.
+	Fleet fleet.Spec
 }
 
 // DefaultConfig returns the settings used by the paper-shaped experiments:
@@ -86,7 +94,7 @@ func (c Config) Validate() error {
 	case c.Workers < 0:
 		return fmt.Errorf("fed: workers %d must be non-negative (0 = GOMAXPROCS)", c.Workers)
 	}
-	return nil
+	return c.Fleet.Validate(c.Participants)
 }
 
 // Env is a fully materialized federated experiment: pre-trained global
@@ -148,12 +156,24 @@ func (e *Env) scratches(n int) []*Scratch {
 }
 
 // RoundObs collects per-round observability counters that Rounders report
-// into: the payload bytes participants uploaded and the number of distinct
-// experts the server aggregated. The driver drains it after each round with
-// TakeRoundObs.
+// into: the payload bytes participants uploaded, the number of distinct
+// experts the server aggregated, and the round's participation census. The
+// driver drains it after each round with TakeRoundObs.
 type RoundObs struct {
 	UplinkBytes    float64
 	ExpertsTouched int
+
+	// Selected is how many participants the cohort selector picked for the
+	// round; Completed is how many updates the server aggregated;
+	// Dropped = Selected - Completed. Under the drop policy Completed
+	// normally counts participants that made the deadline, with one
+	// exception: when every cohort member misses it, the server waits past
+	// the deadline for the single fastest update (Completed = 1 even though
+	// that participant, too, was late). All zero when a Rounder predates
+	// cohort reporting.
+	Selected  int
+	Completed int
+	Dropped   int
 }
 
 // SetContext attaches a cancellation context to the environment. Round
@@ -190,6 +210,18 @@ func (e *Env) ObserveAggregated(n int) {
 	st := e.st()
 	st.mu.Lock()
 	st.obs.ExpertsTouched = n
+	st.mu.Unlock()
+}
+
+// ObserveCohort records the round's participation census: how many
+// participants were selected and how many completed within the straggler
+// deadline (equal when nothing was dropped). It is goroutine-safe.
+func (e *Env) ObserveCohort(selected, completed int) {
+	st := e.st()
+	st.mu.Lock()
+	st.obs.Selected = selected
+	st.obs.Completed = completed
+	st.obs.Dropped = selected - completed
 	st.mu.Unlock()
 }
 
@@ -236,6 +268,9 @@ func NewEnvContext(ctx context.Context, modelCfg moe.Config, profile data.Profil
 	tiers := simtime.ConsumerTiers()
 	for i := range devices {
 		devices[i] = simtime.TierFor(tiers, i)
+		// Fleet profiles scale the assigned tier; the identity profile (and
+		// an inactive fleet) leaves the device bit-identical.
+		devices[i] = cfg.Fleet.ProfileFor(i).Apply(devices[i])
 	}
 	return &Env{
 		Cfg:     cfg,

@@ -93,20 +93,25 @@ func (s *Scratch) ExtractUpdate(local *moe.Model, participant int, weight float6
 }
 
 // Workers resolves the participant-phase worker count: Cfg.Workers, with
-// zero meaning GOMAXPROCS, clamped to the fleet size.
-func (e *Env) Workers() int {
+// zero meaning GOMAXPROCS, clamped to n concurrent units of work (the fleet
+// size for a full round, the cohort size for a selected one).
+func (e *Env) workersFor(n int) int {
 	w := e.Cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > e.Cfg.Participants {
-		w = e.Cfg.Participants
+	if w > n {
+		w = n
 	}
 	if w < 1 {
 		w = 1
 	}
 	return w
 }
+
+// Workers resolves the participant-phase worker count: Cfg.Workers, with
+// zero meaning GOMAXPROCS, clamped to the fleet size.
+func (e *Env) Workers() int { return e.workersFor(e.Cfg.Participants) }
 
 // ForEachParticipant executes fn once for every participant index over the
 // environment's worker pool, passing each invocation its worker's Scratch.
@@ -117,9 +122,25 @@ func (e *Env) Workers() int {
 // fn must follow the determinism contract documented at the top of this
 // file: consume only pre-split randomness, write only per-participant state,
 // and leave all cross-participant reduction to the caller.
+//
+// Cohort-aware Rounders use ForEachOf(env, env.Cohort(r), ...) instead so
+// only the selected participants execute; ForEachParticipant remains the
+// full-fleet loop (and is exactly ForEachOf over every index).
 func ForEachParticipant(env *Env, fn func(s *Scratch, i int)) error {
-	n := env.Cfg.Participants
-	workers := env.Workers()
+	idx := identityIndices(env.Cfg.Participants)
+	return ForEachOf(env, idx, func(s *Scratch, _ int, participant int) { fn(s, participant) })
+}
+
+// ForEachOf executes fn once for every listed participant over the
+// environment's worker pool, passing each invocation its worker's Scratch,
+// the participant's slot in the list, and the participant index itself.
+// Slots let a Rounder write results into a cohort-sized array and reduce in
+// cohort order, which — with cohorts sorted ascending — keeps floating-point
+// accumulation deterministic at every worker count. The cancellation and
+// determinism contract is ForEachParticipant's.
+func ForEachOf(env *Env, participants []int, fn func(s *Scratch, slot, participant int)) error {
+	n := len(participants)
+	workers := env.workersFor(n)
 	scratch := env.scratches(workers)
 	for _, s := range scratch {
 		s.off = 0
@@ -127,11 +148,11 @@ func ForEachParticipant(env *Env, fn func(s *Scratch, i int)) error {
 
 	if workers == 1 {
 		s := scratch[0]
-		for i := 0; i < n; i++ {
+		for slot := 0; slot < n; slot++ {
 			if env.Canceled() {
 				break
 			}
-			fn(s, i)
+			fn(s, slot, participants[slot])
 		}
 		return env.Context().Err()
 	}
@@ -150,11 +171,11 @@ func ForEachParticipant(env *Env, fn func(s *Scratch, i int)) error {
 				}
 			}()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || env.Canceled() {
+				slot := int(next.Add(1)) - 1
+				if slot >= n || env.Canceled() {
 					return
 				}
-				fn(s, i)
+				fn(s, slot, participants[slot])
 			}
 		}(s)
 	}

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Selector is a cohort selection policy: given the round's available
+// participants, pick who executes the round. Implementations must be
+// deterministic in the provided RNG (which the engine derives from the fleet
+// seed and round number) and must return a subset of avail; order does not
+// matter, the engine sorts cohorts ascending before use.
+type Selector interface {
+	Name() string
+	// Select picks the round's cohort. avail is sorted ascending; speed
+	// returns participant i's effective device speed (base tier × profile
+	// multipliers).
+	Select(round int, avail []int, speed func(i int) DeviceSpeed, rng *tensor.RNG) []int
+}
+
+// SelectorSpec is the JSON-able description of a selection policy.
+type SelectorSpec struct {
+	// Policy is one of Policies: "all", "uniform", "power-of-choice",
+	// "bandwidth". Empty means "all".
+	Policy string `json:"policy,omitempty"`
+
+	// K is the cohort size for the sampling policies. Setting it (or any
+	// field below) without naming a sampling policy is a validation error —
+	// a stray cohort size is almost always a forgotten "policy" key, and
+	// "all" would silently ignore it.
+	K int `json:"k,omitempty"`
+
+	// Choices is the candidates-per-slot count of "power-of-choice"
+	// (default 2).
+	Choices int `json:"choices,omitempty"`
+
+	// OverProvision is the extra-invitation fraction of "bandwidth": the
+	// server invites K + ceil(K*OverProvision) participants and keeps the K
+	// with the fastest uplinks. Zero means exactly K invitations.
+	OverProvision float64 `json:"over_provision,omitempty"`
+}
+
+// Policies returns the known selection policy names, in stable order.
+func Policies() []string { return []string{"all", "uniform", "power-of-choice", "bandwidth"} }
+
+func (s SelectorSpec) isZero() bool {
+	return s.Policy == "" && s.K == 0 && s.Choices == 0 && s.OverProvision == 0
+}
+
+// Validate reports the first invalid setting, or nil. The policy dispatch
+// itself lives in selector(), so a policy either validates here and
+// materializes there or fails both with the same error.
+func (s SelectorSpec) Validate() error {
+	if _, err := s.selector(); err != nil {
+		return err
+	}
+	if s.Policy == "" || s.Policy == "all" {
+		if s.K != 0 || s.Choices != 0 || s.OverProvision != 0 {
+			return fmt.Errorf("fleet: selector sets k/choices/over_provision without a sampling policy (did you forget \"policy\"? known: %v)", Policies())
+		}
+		return nil
+	}
+	if s.K <= 0 {
+		return fmt.Errorf("fleet: selector %q needs a positive cohort size k, got %d", s.Policy, s.K)
+	}
+	if s.Choices != 0 && s.Policy != "power-of-choice" {
+		return fmt.Errorf("fleet: selector %q ignores choices (only power-of-choice uses it)", s.Policy)
+	}
+	if s.Choices < 0 {
+		return fmt.Errorf("fleet: selector choices %d must be non-negative", s.Choices)
+	}
+	if s.OverProvision != 0 && s.Policy != "bandwidth" {
+		return fmt.Errorf("fleet: selector %q ignores over_provision (only bandwidth uses it)", s.Policy)
+	}
+	if s.OverProvision < 0 {
+		return fmt.Errorf("fleet: selector over-provision %v must be non-negative", s.OverProvision)
+	}
+	return nil
+}
+
+// selector materializes the policy.
+func (s SelectorSpec) selector() (Selector, error) {
+	switch s.Policy {
+	case "", "all":
+		return All{}, nil
+	case "uniform":
+		return UniformK{K: s.K}, nil
+	case "power-of-choice":
+		c := s.Choices
+		if c <= 0 {
+			c = 2
+		}
+		return PowerOfChoice{K: s.K, Choices: c}, nil
+	case "bandwidth":
+		return BandwidthAware{K: s.K, OverProvision: s.OverProvision}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown selection policy %q (known: %v)", s.Policy, Policies())
+	}
+}
+
+// All selects every available participant — the engine's historical
+// behavior and the default policy.
+type All struct{}
+
+// Name implements Selector.
+func (All) Name() string { return "all" }
+
+// Select implements Selector.
+func (All) Select(_ int, avail []int, _ func(int) DeviceSpeed, _ *tensor.RNG) []int { return avail }
+
+// UniformK samples K available participants uniformly without replacement.
+// With K ≤ 0 or K ≥ len(avail) it degrades to All.
+type UniformK struct{ K int }
+
+// Name implements Selector.
+func (UniformK) Name() string { return "uniform" }
+
+// Select implements Selector.
+func (s UniformK) Select(_ int, avail []int, _ func(int) DeviceSpeed, rng *tensor.RNG) []int {
+	if s.K <= 0 || s.K >= len(avail) {
+		return avail
+	}
+	perm := rng.Perm(len(avail))
+	out := make([]int, s.K)
+	for i := range out {
+		out[i] = avail[perm[i]]
+	}
+	return out
+}
+
+// PowerOfChoice fills each of its K cohort slots by drawing Choices distinct
+// candidates and keeping the fastest (highest DeviceSpeed.Score; ties go to
+// the first drawn, so equal-speed devices are picked uniformly) — the
+// classic power-of-d-choices bias toward fast devices while every available
+// participant keeps a nonzero selection probability.
+type PowerOfChoice struct {
+	K, Choices int
+}
+
+// Name implements Selector.
+func (PowerOfChoice) Name() string { return "power-of-choice" }
+
+// Select implements Selector.
+func (s PowerOfChoice) Select(_ int, avail []int, speed func(int) DeviceSpeed, rng *tensor.RNG) []int {
+	if s.K <= 0 || s.K >= len(avail) {
+		return avail
+	}
+	d := s.Choices
+	if d < 1 {
+		d = 2
+	}
+	pool := append([]int(nil), avail...)
+	// Price every candidate once; scores shadows pool through removals.
+	scores := make([]float64, len(pool))
+	for i, id := range pool {
+		scores[i] = speed(id).Score()
+	}
+	out := make([]int, 0, s.K)
+	for len(out) < s.K && len(pool) > 0 {
+		c := d
+		if c > len(pool) {
+			c = len(pool)
+		}
+		perm := rng.Perm(len(pool))
+		best := perm[0]
+		for _, j := range perm[1:c] {
+			// Strictly better only: ties keep the earlier draw, so a class
+			// of equal-speed devices is sampled uniformly rather than
+			// starving its higher indices.
+			if scores[j] > scores[best] {
+				best = j
+			}
+		}
+		out = append(out, pool[best])
+		pool = append(pool[:best], pool[best+1:]...)
+		scores = append(scores[:best], scores[best+1:]...)
+	}
+	return out
+}
+
+// BandwidthAware over-provisions: it invites K + ceil(K*OverProvision)
+// participants uniformly and keeps the K with the fastest uplinks (ties keep
+// invitation order, so equal-bandwidth devices are kept uniformly) —
+// modeling a server that asks more devices than it needs and aggregates the
+// first K uploads to arrive. Zero OverProvision invites exactly K.
+type BandwidthAware struct {
+	K             int
+	OverProvision float64
+}
+
+// Name implements Selector.
+func (BandwidthAware) Name() string { return "bandwidth" }
+
+// Select implements Selector.
+func (s BandwidthAware) Select(_ int, avail []int, speed func(int) DeviceSpeed, rng *tensor.RNG) []int {
+	if s.K <= 0 || s.K >= len(avail) {
+		return avail
+	}
+	invite := s.K + int(math.Ceil(float64(s.K)*s.OverProvision))
+	if invite > len(avail) {
+		invite = len(avail)
+	}
+	perm := rng.Perm(len(avail))
+	type candidate struct {
+		id     int
+		uplink float64
+	}
+	invited := make([]candidate, invite)
+	for i := range invited {
+		id := avail[perm[i]]
+		invited[i] = candidate{id: id, uplink: speed(id).Uplink}
+	}
+	// Stable sort over the random invitation order: ties resolve uniformly
+	// instead of always favoring low indices.
+	sort.SliceStable(invited, func(a, b int) bool {
+		return invited[a].uplink > invited[b].uplink
+	})
+	out := make([]int, s.K)
+	for i := range out {
+		out[i] = invited[i].id
+	}
+	return out
+}

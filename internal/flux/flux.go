@@ -95,28 +95,31 @@ type participantResult struct {
 	commSec     float64
 }
 
-// Round implements fed.Rounder: one full Flux round across all
-// participants, returning the simulated per-phase durations. Participants
-// execute over the environment's worker pool (fed.ForEachParticipant);
-// per-participant RNG streams are split serially up front and all
-// floating-point reduction happens in participant order after the pool
-// joins, so results are bit-identical at every worker count.
+// Round implements fed.Rounder: one full Flux round across the round's
+// cohort (env.Cohort — the full fleet unless a fleet spec selects fewer),
+// returning the simulated per-phase durations. Participants execute over
+// the environment's worker pool (fed.ForEachOf); per-participant RNG
+// streams are split serially up front and all floating-point reduction
+// happens in cohort order after the pool joins, so results are
+// bit-identical at every worker count.
 func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	cfg := env.Global.Cfg
 	eps := r.Opts.Eps.Epsilon(round)
-	n := env.Cfg.Participants
+	cohort := env.Cohort(round)
 
 	// Splitting advances env.RNG, so the per-participant streams must be
-	// derived in index order before any work is dispatched.
-	rngs := make([]*tensor.RNG, n)
-	for i := range rngs {
-		rngs[i] = env.RNG.Split(fmt.Sprintf("p%d/r%d", i, round))
+	// derived in cohort order before any work is dispatched. Labels carry
+	// the participant index, so with the default all-participate cohort the
+	// streams are exactly the historical per-participant ones.
+	rngs := make([]*tensor.RNG, len(cohort))
+	for slot, i := range cohort {
+		rngs[slot] = env.RNG.Split(fmt.Sprintf("p%d/r%d", i, round))
 	}
 
-	results := make([]participantResult, n)
-	err := fed.ForEachParticipant(env, func(ws *fed.Scratch, i int) {
+	results := make([]participantResult, len(cohort))
+	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
-		rng := rngs[i]
+		rng := rngs[slot]
 		prof := profile.Profiler{Bits: r.Opts.ProfileBits, TrackSamples: true}
 
 		// --- Profiling (§4): quantized, stale-pipelined. ---
@@ -176,7 +179,7 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
 		commSec := dev.UplinkSeconds(bytes) +
-			dev.UplinkSeconds(float64(capacity)*simtime.ExpertBytes(cfg)) // model sync down
+			dev.DownlinkSeconds(float64(capacity)*simtime.ExpertBytes(cfg)) // model sync down
 
 		// Aggregation + assignment happen server-side while the next
 		// profile is computed locally; stale profiling hides the overlap.
@@ -185,7 +188,7 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 			visibleProf = profSec // bootstrap profile is on the critical path
 		}
 
-		results[i] = participantResult{
+		results[slot] = participantResult{
 			update:      u,
 			bytes:       bytes,
 			localSec:    mergeSec + trainSec + spsaSec,
@@ -200,12 +203,24 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		return nil
 	}
 
-	updates := make([]fed.Update, n)
+	// Straggler resolution: each participant's end-to-end round time is the
+	// sum of its phase contributions; updates past the deadline are dropped
+	// (never under the wait policy or without a deadline).
+	totals := make([]float64, len(results))
+	for slot, p := range results {
+		totals[slot] = p.visibleProf + p.localSec + p.assignSec + p.commSec
+	}
+	outcome := env.ResolveStragglers(totals)
+
+	updates := make([]fed.Update, 0, outcome.Kept)
 	var maxLocal float64
 	var profMax, mergeMax, assignMax, commMax float64
 	var aggBytes float64
-	for i, p := range results {
-		updates[i] = p.update
+	for slot, p := range results {
+		if !outcome.Keep[slot] {
+			continue
+		}
+		updates = append(updates, p.update)
 		aggBytes += p.bytes
 		maxLocal = math.Max(maxLocal, p.localSec)
 		profMax = math.Max(profMax, p.visibleProf)
@@ -216,15 +231,19 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 
 	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
 	env.ObserveUplink(aggBytes)
+	env.ObserveCohort(len(cohort), outcome.Kept)
 	serverSec := aggBytes / env.Cfg.ServerBw
 
-	return map[simtime.Phase]float64{
+	phases := map[simtime.Phase]float64{
 		simtime.PhaseProfiling:  profMax,
 		simtime.PhaseMerging:    mergeMax,
 		simtime.PhaseAssignment: assignMax,
 		simtime.PhaseFineTuning: math.Max(0, maxLocal-mergeMax),
 		simtime.PhaseComm:       commMax + serverSec,
 	}
+	env.AddStragglerWait(phases, outcome,
+		profMax+mergeMax+assignMax+math.Max(0, maxLocal-mergeMax)+commMax)
+	return phases
 }
 
 // selectBatch applies §4.1's data selection: prefer local samples whose

@@ -33,8 +33,14 @@ type Device struct {
 	PCIeBw float64
 
 	// NetBw and NetLatency model the WAN link to the parameter server.
+	// NetBw is the uplink bandwidth in bytes/s.
 	NetBw      float64
 	NetLatency float64
+
+	// DownBw is the server→participant bandwidth in bytes/s; zero means
+	// symmetric (the uplink NetBw is used), so legacy homogeneous devices
+	// behave exactly as before asymmetric links existed.
+	DownBw float64
 
 	// CapacityFrac is the fraction of the full model's experts the device
 	// can hold in GPU memory (B_i / |E|), and TuneFrac the fraction it can
@@ -48,6 +54,8 @@ func (d Device) Validate() error {
 	switch {
 	case d.Flops <= 0 || d.PCIeBw <= 0 || d.NetBw <= 0:
 		return fmt.Errorf("simtime: device %q has non-positive throughput", d.Name)
+	case d.DownBw < 0:
+		return fmt.Errorf("simtime: device %q downlink bandwidth %v must be non-negative (0 = symmetric)", d.Name, d.DownBw)
 	case d.CapacityFrac <= 0 || d.CapacityFrac > 1:
 		return fmt.Errorf("simtime: device %q capacity fraction %v out of (0,1]", d.Name, d.CapacityFrac)
 	case d.TuneFrac <= 0 || d.TuneFrac > d.CapacityFrac:
@@ -138,6 +146,17 @@ func (d Device) UplinkSeconds(bytes float64) float64 {
 	return d.NetLatency + bytes/d.NetBw
 }
 
+// DownlinkSeconds is the cost of receiving bytes from the parameter server.
+// Devices with a zero DownBw have symmetric links and price downloads
+// exactly like uploads.
+func (d Device) DownlinkSeconds(bytes float64) float64 {
+	bw := d.DownBw
+	if bw == 0 {
+		bw = d.NetBw
+	}
+	return d.NetLatency + bytes/bw
+}
+
 // Phase labels a component of round time for the overhead breakdown
 // (Figure 20).
 type Phase string
@@ -149,6 +168,12 @@ const (
 	PhaseAssignment Phase = "assignment"
 	PhaseFineTuning Phase = "fine-tuning"
 	PhaseComm       Phase = "communication"
+
+	// PhaseStraggler is server idle time at a straggler deadline: with a
+	// drop policy, the round lasts until the deadline even when every kept
+	// participant finished earlier, and the shortfall is attributed here so
+	// deadline cost is visible in the breakdown.
+	PhaseStraggler Phase = "straggler-wait"
 )
 
 // Clock is a simulated wall clock with a per-phase breakdown.

@@ -40,6 +40,13 @@ type Config struct {
 	// dataset profile's calibrated time-to-accuracy target.
 	Target           float64
 	UseDatasetTarget bool
+
+	// Fleet describes fleet heterogeneity: device profiles, availability,
+	// cohort selection, and straggler deadlines. The zero FleetSpec is
+	// inactive — uniform devices, full participation, no deadline — and
+	// reproduces pre-fleet behavior bit-for-bit. In-process transport only;
+	// the TCP transport rejects fleet-active configurations.
+	Fleet FleetSpec
 }
 
 // DefaultConfig returns the paper-shaped defaults: the Flux method on the
@@ -95,6 +102,7 @@ func (c Config) EngineConfig() EngineConfig {
 	f.PretrainSteps = c.PretrainSteps
 	f.ServerBw = c.ServerBandwidth
 	f.Workers = c.Workers
+	f.Fleet = c.Fleet
 	return f
 }
 
@@ -178,6 +186,38 @@ func WithServerBandwidth(bw float64) Option {
 // time. Leave it at the default unless benchmarking the pool itself or
 // pinning the run to a CPU budget shared with other work.
 func WithParallelism(n int) Option { return func(e *Experiment) { e.cfg.Workers = n } }
+
+// WithFleet replaces the fleet description wholesale: device profiles (or a
+// named distribution), availability trace, selection policy, deadline, and
+// fleet seed. Later WithSelector/WithDeadline options still apply on top.
+func WithFleet(spec FleetSpec) Option { return func(e *Experiment) { e.cfg.Fleet = spec } }
+
+// WithFleetDistribution selects a named built-in fleet distribution (see
+// FleetDistributions): "uniform", "tiered", "longtail", or "flaky".
+func WithFleetDistribution(name string) Option {
+	return func(e *Experiment) {
+		e.cfg.Fleet.Distribution = name
+		e.cfg.Fleet.Profiles = nil
+	}
+}
+
+// WithSelector sets the cohort selection policy applied each round to the
+// available participants (see SelectionPolicies).
+func WithSelector(sel SelectorSpec) Option {
+	return func(e *Experiment) { e.cfg.Fleet.Selector = sel }
+}
+
+// WithDeadline sets the straggler deadline in simulated seconds and the
+// policy at the deadline: drop=true cuts participants that miss it out of
+// aggregation (the server proceeds at the deadline), drop=false waits for
+// everyone (the deadline is observational). Zero seconds removes the
+// deadline.
+func WithDeadline(seconds float64, drop bool) Option {
+	return func(e *Experiment) {
+		e.cfg.Fleet.Deadline = seconds
+		e.cfg.Fleet.Drop = drop && seconds > 0
+	}
+}
 
 // WithTarget stops the run early once the evaluation score reaches acc.
 func WithTarget(acc float64) Option {

@@ -20,6 +20,11 @@ type ExperimentOptions struct {
 	// runs execute with; zero means GOMAXPROCS, one forces serial. Every
 	// setting produces bit-identical tables.
 	Parallelism int
+	// Fleet applies a heterogeneous-fleet spec (device profiles, cohort
+	// selection, straggler deadline) to every federated run of the
+	// experiment. The zero value reproduces the paper's homogeneous
+	// full-participation figures.
+	Fleet FleetSpec
 }
 
 // RunExperiment regenerates one table or figure of the paper's evaluation
@@ -32,7 +37,7 @@ func RunExperiment(id string, quick bool, w io.Writer) error {
 // RunExperimentOpts is RunExperiment with full control over experiment
 // execution, including participant-phase parallelism.
 func RunExperimentOpts(id string, opts ExperimentOptions, w io.Writer) error {
-	tab, err := experiments.Run(id, experiments.Options{Quick: opts.Quick, Parallelism: opts.Parallelism})
+	tab, err := experiments.Run(id, experiments.Options{Quick: opts.Quick, Parallelism: opts.Parallelism, Fleet: opts.Fleet})
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,12 @@ type RoundStats struct {
 	UplinkBytes float64
 	// ExpertsTouched is how many distinct experts aggregation updated.
 	ExpertsTouched int
+	// Selected/Completed/Dropped are the round's participation census under
+	// the fleet subsystem (see RoundEvent); zero for transports that do not
+	// model fleets.
+	Selected  int
+	Completed int
+	Dropped   int
 }
 
 // Transport is an execution substrate for the synchronous round protocol.
@@ -84,7 +90,14 @@ func (t *inProcess) Round(ctx context.Context, r int) (RoundStats, error) {
 	for p, v := range phases {
 		ps[string(p)] = v
 	}
-	return RoundStats{Phases: ps, UplinkBytes: obs.UplinkBytes, ExpertsTouched: obs.ExpertsTouched}, nil
+	return RoundStats{
+		Phases:         ps,
+		UplinkBytes:    obs.UplinkBytes,
+		ExpertsTouched: obs.ExpertsTouched,
+		Selected:       obs.Selected,
+		Completed:      obs.Completed,
+		Dropped:        obs.Dropped,
+	}, nil
 }
 
 func (t *inProcess) Close() error { return nil }
@@ -148,6 +161,9 @@ func (t *tcpTransport) Start(ctx context.Context, env *Env, method string) error
 	}
 	if !m.Wire {
 		return fmt.Errorf("flux: method %q cannot run over the TCP transport (its round logic is client-local); wire-capable methods: %v", method, wireMethodNames())
+	}
+	if env.Cfg.Fleet.Active() {
+		return errors.New("flux: the TCP transport does not model fleets (device profiles, cohort selection, deadlines); run fleet scenarios on the in-process transport")
 	}
 	ln, err := net.Listen("tcp", t.addr)
 	if err != nil {
