@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -106,9 +107,16 @@ func runScenario(path string, workers int) error {
 				fmt.Printf("  baseline score=%.4f\n", ev.Score)
 				return
 			}
+			// Sum in sorted-phase order: a map range would accumulate the
+			// float total in randomized order and flip its last bit run-to-run.
+			keys := make([]string, 0, len(ev.Phases))
+			for k := range ev.Phases {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
 			var roundSec float64
-			for _, v := range ev.Phases {
-				roundSec += v
+			for _, k := range keys {
+				roundSec += ev.Phases[k]
 			}
 			line := fmt.Sprintf("  round %2d  score=%.4f  t=%6.2fh  round=%6.0fs  cohort %d/%d",
 				ev.Round, ev.Score, ev.SimHours, roundSec, ev.Completed, ev.Selected)

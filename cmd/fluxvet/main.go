@@ -1,0 +1,102 @@
+// Fluxvet runs the determinism-contract analyzer suite (internal/analysis)
+// over package patterns, like a project-specific go vet:
+//
+//	fluxvet ./...                  # whole module, from the module root
+//	fluxvet ./internal/fed         # one package
+//	fluxvet -list                  # describe the analyzers
+//
+// It exits non-zero if any finding survives suppression filtering, so CI
+// can enforce a clean tree. Run it from inside the module to check (it also
+// works from examples/external_method, whose go.mod replace directive the
+// loader understands), and see the README's "Determinism contract" section
+// for what each analyzer enforces and how to justify exceptions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fluxvet [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-13s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			var unknown []string
+			for name := range keep {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "fluxvet: unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, suite)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(d.Format(loader.Fset()))
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "fluxvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluxvet:", err)
+	os.Exit(2)
+}

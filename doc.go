@@ -53,6 +53,20 @@
 // spec as one reviewable JSON artifact, and RoundEvent reports each round's
 // Selected/Completed/Dropped counts and straggler-wait idle time.
 //
+// The determinism contract is enforced statically. cmd/fluxvet (backed by
+// internal/analysis, dependency-free) lints the tree in CI with five
+// analyzers: maporder (no map-order iteration into results), wallclock (no
+// time.Now/Since/Sleep in simulation code — simulated time flows through
+// internal/simtime), globalrand (no process-global or wall-clock-seeded
+// math/rand; split streams from the experiment seed), strictdecode (config
+// JSON must be decoded with DisallowUnknownFields, as LoadScenario does),
+// and sharedwrite (ForEachParticipant/ForEachOf callbacks write only
+// participant-indexed state). Deliberate exceptions are annotated in source
+// with //fluxvet:unordered <reason> or //fluxvet:allow <analyzer> <reason>;
+// an empty reason or a stale suppression is itself a finding. Run it
+// locally with `go run ./cmd/fluxvet ./...`; see README "Determinism
+// contract".
+//
 // Per-round accuracy, simulated time, and wire traffic stream out through
 // RoundEvent callbacks (WithRoundEvents). Serve and Join run the
 // cross-machine parameter-server deployment that cmd/fluxserver and

@@ -174,6 +174,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 
 	target := e.resolveTarget(env.Profile)
 	clock := simtime.NewClock()
+	//fluxvet:allow wallclock Result/RoundEvent.Elapsed report real wall time for observability; simulated time stays in clock
 	start := time.Now()
 	res := &Result{
 		Method:    e.cfg.Method,
@@ -186,6 +187,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 
 	score := env.Evaluate()
 	res.Baseline, res.Best = score, score
+	//fluxvet:allow wallclock wall-time observability in the event stream; never folded into results
 	e.emit(res, RoundEvent{Round: 0, Score: score, Elapsed: time.Since(start)})
 
 	var runErr error
@@ -205,6 +207,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 			break
 		}
 		phases := make(map[simtime.Phase]float64, len(stats.Phases))
+		//fluxvet:unordered map-to-map copy; AdvanceAll sorts keys before folding time into the clock
 		for phase, sec := range stats.Phases {
 			phases[simtime.Phase(phase)] = sec
 		}
@@ -219,9 +222,10 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 			res.Best = score
 		}
 		e.emit(res, RoundEvent{
-			Round:          r + 1,
-			Score:          score,
-			SimHours:       clock.Hours(),
+			Round:    r + 1,
+			Score:    score,
+			SimHours: clock.Hours(),
+			//fluxvet:allow wallclock wall-time observability in the event stream; never folded into results
 			Elapsed:        time.Since(start),
 			UplinkBytes:    stats.UplinkBytes,
 			ExpertsTouched: stats.ExpertsTouched,
@@ -245,7 +249,9 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	}
 	res.Final = score
 	res.SimHours = clock.Hours()
+	//fluxvet:allow wallclock wall-time observability on the final Result; never folded into results
 	res.Elapsed = time.Since(start)
+	//fluxvet:unordered map-to-map copy of the phase breakdown; per-key writes, element order irrelevant
 	for p, v := range clock.Breakdown() {
 		res.Phases[string(p)] = v
 	}

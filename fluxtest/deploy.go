@@ -1,3 +1,5 @@
+//fluxvet:allow wallclock deployment failure-injection harness: socket deadlines and liveness bounds are real time by design
+
 package fluxtest
 
 import (

@@ -1,3 +1,5 @@
+//fluxvet:allow wallclock conformance harness: cancellation and liveness bounds are real-time test deadlines, not simulated time
+
 // Package fluxtest is the conformance suite for flux extension points: it
 // takes any Rounder constructor or Transport implementation — built-in or
 // third-party — and runs it through the battery of contracts the engine

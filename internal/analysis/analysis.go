@@ -1,0 +1,234 @@
+// Package analysis is fluxvet's analyzer suite: static checks that enforce
+// this repository's determinism contract (serial ≡ parallel bit-equality,
+// sorted map iteration, pre-split RNG streams, simulated time only, strict
+// scenario decoding) at compile time instead of post hoc via golden tests.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer, Pass, Diagnostic) so each checker reads like a standard
+// go/analysis analyzer, but it is self-contained on the standard library:
+// this module carries no external dependencies, and the loader in loader.go
+// type-checks packages with go/build + go/types directly.
+//
+// # Suppressions
+//
+// A finding can be suppressed with a justification comment on the flagged
+// line or the line immediately above it:
+//
+//	//fluxvet:unordered <reason>          (sugar for: allow maporder)
+//	//fluxvet:allow <analyzer> <reason>
+//
+// A suppression comment placed before the package clause suppresses the
+// named analyzer for the whole file (used by real-time test harnesses such
+// as fluxtest). The <reason> is mandatory — a suppression without a written
+// justification is itself reported — and a suppression that matches no
+// finding of an analyzer in the running suite is reported as stale.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fluxvet:allow comments.
+	Name string
+	// Doc is the analyzer's help text: first line is a one-sentence
+	// summary, the rest elaborates the contract it enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic as file:line:col: analyzer: message.
+func (d Diagnostic) Format(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}
+
+// suppression is one parsed //fluxvet: comment.
+type suppression struct {
+	pos      token.Pos // of the comment itself
+	file     string    // filename the comment lives in
+	line     int       // line of the comment
+	analyzer string    // which analyzer it silences
+	reason   string    // written justification (empty = invalid)
+	fileWide bool      // comment precedes the package clause
+	used     bool
+}
+
+const (
+	allowPrefix     = "//fluxvet:allow"
+	unorderedPrefix = "//fluxvet:unordered"
+)
+
+// parseSuppressions extracts every //fluxvet: comment from a file.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []*suppression {
+	var out []*suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			s := parseSuppression(c.Text)
+			if s == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			s.pos = c.Pos()
+			s.file = pos.Filename
+			s.line = pos.Line
+			s.fileWide = c.Pos() < f.Package
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// parseSuppression parses one comment's text, returning nil if it is not a
+// fluxvet directive. Directives with a missing analyzer name or empty reason
+// come back with those fields empty; RunPackage reports them as invalid.
+func parseSuppression(text string) *suppression {
+	switch {
+	case strings.HasPrefix(text, unorderedPrefix):
+		rest := strings.TrimPrefix(text, unorderedPrefix)
+		if rest != "" && !strings.HasPrefix(rest, " ") {
+			return nil // e.g. //fluxvet:unorderedX — not a directive
+		}
+		return &suppression{analyzer: "maporder", reason: strings.TrimSpace(rest)}
+	case strings.HasPrefix(text, allowPrefix):
+		rest := strings.TrimPrefix(text, allowPrefix)
+		if rest != "" && !strings.HasPrefix(rest, " ") {
+			return nil
+		}
+		fields := strings.Fields(rest)
+		s := &suppression{}
+		if len(fields) > 0 {
+			s.analyzer = fields[0]
+			s.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+		}
+		return s
+	}
+	return nil
+}
+
+// RunPackage applies every analyzer to pkg, filters findings through the
+// package's //fluxvet: suppression comments, and returns the surviving
+// diagnostics sorted by position. Invalid suppressions (no justification)
+// and stale ones (matching no finding of a running analyzer) are themselves
+// returned as diagnostics under the pseudo-analyzer name "fluxvet".
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+
+	var sups []*suppression
+	for _, f := range pkg.Files {
+		sups = append(sups, parseSuppressions(pkg.Fset, f)...)
+	}
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+
+	var kept []Diagnostic
+	for _, d := range raw {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, s := range sups {
+			if s.analyzer != d.Analyzer || s.file != pos.Filename {
+				continue
+			}
+			if s.fileWide || s.line == pos.Line || s.line == pos.Line-1 {
+				s.used = true
+				matched = true
+			}
+		}
+		if !matched {
+			kept = append(kept, d)
+		}
+	}
+
+	for _, s := range sups {
+		switch {
+		case s.analyzer == "" || s.reason == "":
+			kept = append(kept, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "fluxvet",
+				Message:  "suppression needs an analyzer name and a written justification: //fluxvet:allow <analyzer> <reason> (or //fluxvet:unordered <reason>)",
+			})
+		case !s.used && running[s.analyzer]:
+			kept = append(kept, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "fluxvet",
+				Message:  fmt.Sprintf("stale suppression: no %s finding here to silence", s.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// All returns the full fluxvet suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		WallClock,
+		GlobalRand,
+		StrictDecode,
+		SharedWrite,
+	}
+}

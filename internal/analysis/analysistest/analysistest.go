@@ -1,0 +1,166 @@
+// Package analysistest runs a fluxvet analyzer over a testdata fixture
+// package and compares its findings against expectations written in the
+// fixture source, in the style of golang.org/x/tools/go/analysis/analysistest
+// (which this module cannot depend on):
+//
+//	for k := range m { // want `map iterated in randomized order`
+//
+// Each `// want` comment holds one or more quoted regular expressions that
+// must each be matched by a finding on that line; findings on lines with no
+// matching expectation fail the test. Because the suite's suppression
+// filtering runs too, fixtures can (and do) exercise the
+// //fluxvet:unordered / //fluxvet:allow escape hatches, including the
+// invalid- and stale-suppression diagnostics.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// An expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at dir under import path asPath, applies
+// the analyzer, and reports any mismatch between findings and the
+// fixture's `// want` comments.
+func Run(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, name := range fixtureFiles(t, pkg.Dir) {
+		wants = append(wants, parseWants(t, name)...)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(text) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s", pos, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixtureFiles lists the non-test Go files of the fixture directory.
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+// parseWants extracts `// want "re" "re"...` expectations from one file.
+// Both interpreted (")  and raw (`) quoting are accepted.
+func parseWants(t *testing.T, name string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	var out []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		_, after, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		// A line holding nothing but the want comment states an expectation
+		// for the NEXT line — used for findings that land on //fluxvet:
+		// directive lines, where a trailing comment would be parsed as the
+		// suppression's reason.
+		target := i + 1
+		if strings.HasPrefix(strings.TrimSpace(line), "// want ") {
+			target = i + 2
+		}
+		rest := strings.TrimSpace(after)
+		for rest != "" {
+			var lit string
+			var err error
+			switch rest[0] {
+			case '"':
+				end := strings.Index(rest[1:], `"`)
+				if end < 0 {
+					t.Fatalf("%s:%d: unterminated want string", name, i+1)
+				}
+				lit, err = strconv.Unquote(rest[:end+2])
+				rest = strings.TrimSpace(rest[end+2:])
+			case '`':
+				end := strings.Index(rest[1:], "`")
+				if end < 0 {
+					t.Fatalf("%s:%d: unterminated want string", name, i+1)
+				}
+				lit = rest[1 : end+1]
+				rest = strings.TrimSpace(rest[end+2:])
+			default:
+				t.Fatalf("%s:%d: malformed want clause at %q", name, i+1, rest)
+			}
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string: %v", name, i+1, err)
+			}
+			re, err := regexp.Compile(lit)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", name, i+1, err)
+			}
+			out = append(out, &expectation{file: name, line: target, re: re})
+		}
+	}
+	return out
+}
+
+// Fixture returns the conventional fixture directory testdata/src/<name>,
+// resolved relative to the caller's working directory (the package under
+// test), and fails if it does not exist.
+func Fixture(t *testing.T, name string) string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("missing fixture: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("fixture path: %v", err)
+	}
+	return abs
+}

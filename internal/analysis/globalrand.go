@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the process-global math/rand stream and wall-clock
+// seeding. Every random draw in an experiment must derive from the
+// configured experiment seed through the established stream-split helpers
+// (tensor.RNG / env.RNG.Split), so that runs are reproducible and
+// participant streams stay independent of scheduling. The package-level
+// math/rand functions share one global, racy, arbitrarily-seeded source;
+// using one anywhere silently couples unrelated draws and breaks
+// bit-reproducibility.
+//
+// Constructing an explicitly seeded source is fine (rand.New,
+// rand.NewSource, rand.NewZipf, and the v2 NewPCG/NewChaCha8) — unless the
+// seed expression itself reads the wall clock, which just launders
+// nondeterminism through a constructor.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids top-level math/rand functions and wall-clock-seeded sources; randomness must derive from the experiment seed",
+	Run:  runGlobalRand,
+}
+
+// randConstructors build sources/generators from an explicit seed and are
+// the only package-level math/rand functions allowed.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkg := obj.Pkg().Path()
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an explicit *rand.Rand — the approved shape
+			}
+			name := obj.Name()
+			if !randConstructors[name] {
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the process-global source; split a stream from the experiment seed instead (tensor.RNG)", pkg, name)
+				return true
+			}
+			if arg := wallClockSeed(pass, call); arg != nil {
+				pass.Reportf(arg.Pos(),
+					"%s.%s seeded from the wall clock; derive the seed from the experiment configuration instead", pkg, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wallClockSeed returns the first argument expression of call that reads
+// the wall clock (contains a time.Now/time.Since call), or nil.
+func wallClockSeed(pass *Pass, call *ast.CallExpr) ast.Expr {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && wallClockFuncs[obj.Name()] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return arg
+		}
+	}
+	return nil
+}

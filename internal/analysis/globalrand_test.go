@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "globalrand"), "repro/internal/fed", analysis.GlobalRand)
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseGoMod(t *testing.T) {
+	mods, err := parseGoMod(`// leading comment
+module example.com/app
+
+go 1.24
+
+require repro v0.0.0
+
+replace repro => ../lib
+
+replace (
+	other.example/dep v1.2.3 => ./vendor-local
+	remote.example/x => remote.example/fork v1.0.0
+)
+`, "/work/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]string, len(mods))
+	for _, m := range mods {
+		byPath[m.path] = m.dir
+	}
+	if got := byPath["example.com/app"]; got != "/work/app" {
+		t.Errorf("main module dir = %q, want /work/app", got)
+	}
+	if got := byPath["repro"]; got != filepath.Clean("/work/lib") {
+		t.Errorf("replace repro dir = %q, want /work/lib", got)
+	}
+	if got := byPath["other.example/dep"]; got != filepath.Join("/work/app", "vendor-local") {
+		t.Errorf("block replace dir = %q", got)
+	}
+	// A module-path replacement (no local directory) is not loadable and
+	// must not produce a mapping.
+	if _, ok := byPath["remote.example/x"]; ok {
+		t.Errorf("remote replacement should be ignored")
+	}
+	// Longest-path-first ordering lets nested module paths win.
+	for i := 1; i < len(mods); i++ {
+		if len(mods[i-1].path) < len(mods[i].path) {
+			t.Errorf("modules not sorted longest-first: %v", mods)
+		}
+	}
+}
+
+func TestParseGoModRejectsMissingModule(t *testing.T) {
+	if _, err := parseGoMod("go 1.24\n", "/work"); err == nil {
+		t.Fatal("expected error for go.mod without module directive")
+	}
+}
+
+func TestParseSuppression(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		reason   string
+		nil_     bool
+	}{
+		{"//fluxvet:unordered per-key writes", "maporder", "per-key writes", false},
+		{"//fluxvet:unordered", "maporder", "", false},
+		{"//fluxvet:allow wallclock real deadline", "wallclock", "real deadline", false},
+		{"//fluxvet:allow", "", "", false},
+		{"//fluxvet:allowx nope", "", "", true},
+		{"//fluxvet:unorderedx nope", "", "", true},
+		{"// plain comment", "", "", true},
+	}
+	for _, tc := range cases {
+		s := parseSuppression(tc.text)
+		if tc.nil_ {
+			if s != nil {
+				t.Errorf("%q: expected nil, got %+v", tc.text, s)
+			}
+			continue
+		}
+		if s == nil {
+			t.Errorf("%q: expected suppression, got nil", tc.text)
+			continue
+		}
+		if s.analyzer != tc.analyzer || s.reason != tc.reason {
+			t.Errorf("%q: got (%q, %q), want (%q, %q)", tc.text, s.analyzer, s.reason, tc.analyzer, tc.reason)
+		}
+	}
+}

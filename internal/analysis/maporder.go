@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps. Go randomizes map iteration
+// order, so any map range whose body does order-sensitive work — floating-
+// point accumulation, appending to an output, folding into a clock — makes
+// results differ between runs and breaks the serial ≡ parallel bit-equality
+// contract. The canonical fix is the sorted-keys idiom (collect keys,
+// sort, range the sorted slice — see simtime.Clock.AdvanceAll).
+//
+// Two shapes are auto-allowed because they are order-insensitive by
+// construction:
+//
+//   - the collect half of the sorted-keys idiom: a body consisting solely
+//     of `x = append(x, ...)` statements (the append order is scrambled,
+//     but the caller sorts before consuming);
+//   - `for range m` with no iteration variables (the body cannot observe
+//     the order).
+//
+// Anything else needs a written justification: //fluxvet:unordered <reason>.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration in order-sensitive code unless the sorted-keys idiom or a //fluxvet:unordered justification is present",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rs.Key == nil && rs.Value == nil {
+				return true // body cannot observe iteration order
+			}
+			if isCollectOnlyBody(rs.Body) {
+				return true // sorted-keys idiom, collect half
+			}
+			pass.Reportf(rs.For,
+				"map iterated in randomized order; collect and sort keys first (see simtime.Clock.AdvanceAll) or justify with //fluxvet:unordered <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectOnlyBody reports whether every statement in the loop body is an
+// append back into the same variable: `x = append(x, ...)`.
+func isCollectOnlyBody(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		dst, ok := call.Args[0].(*ast.Ident)
+		if !ok || dst.Name != lhs.Name {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// StrictDecode enforces the strict-decoding contract on JSON config and
+// scenario inputs: every encoding/json Decoder must call
+// DisallowUnknownFields before its first Decode, so a typo in a scenario or
+// trace file fails loudly at load time instead of silently running the
+// default behavior (the flux.LoadScenario contract). json.Unmarshal is
+// flagged outright — it has no strict mode and silently drops unknown
+// fields.
+var StrictDecode = &Analyzer{
+	Name: "strictdecode",
+	Doc:  "requires DisallowUnknownFields on every json.Decoder before Decode; forbids the lenient json.Unmarshal",
+	Run:  runStrictDecode,
+}
+
+func runStrictDecode(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDecoders(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// jsonFunc resolves a selector call to an encoding/json function or method
+// object, or nil.
+func jsonFunc(pass *Pass, call *ast.CallExpr) (types.Object, *ast.SelectorExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/json" {
+		return nil, nil
+	}
+	return obj, sel
+}
+
+// checkDecoders audits one function body (closures included — decoder
+// state is tracked positionally across the whole body).
+func checkDecoders(pass *Pass, body *ast.BlockStmt) {
+	type decoderSite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var created []decoderSite // source order keeps reporting deterministic
+	seen := make(map[types.Object]bool)
+	strictAt := make(map[types.Object][]token.Pos)
+	decodeAt := make(map[types.Object][]token.Pos)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj, sel := jsonFunc(pass, call)
+		if obj == nil {
+			return true
+		}
+		switch obj.Name() {
+		case "Unmarshal":
+			pass.Reportf(call.Pos(),
+				"json.Unmarshal silently drops unknown fields; decode config inputs with a json.Decoder and DisallowUnknownFields")
+		case "NewDecoder":
+			// Assignments record the decoder object; a direct
+			// json.NewDecoder(r).Decode(&v) chain is caught under Decode.
+		case "DisallowUnknownFields":
+			if root := rootObject(pass, sel.X); root != nil {
+				strictAt[root] = append(strictAt[root], call.Pos())
+			}
+		case "Decode":
+			if inner, ok := sel.X.(*ast.CallExpr); ok {
+				if o, _ := jsonFunc(pass, inner); o != nil && o.Name() == "NewDecoder" {
+					pass.Reportf(call.Pos(),
+						"json.NewDecoder(...).Decode chains past DisallowUnknownFields; bind the decoder and make it strict first")
+					return true
+				}
+			}
+			if root := rootObject(pass, sel.X); root != nil {
+				decodeAt[root] = append(decodeAt[root], call.Pos())
+			}
+		}
+		return true
+	})
+
+	// Creation sites: `dec := json.NewDecoder(r)` or `var dec = ...`.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if o, _ := jsonFunc(pass, call); o == nil || o.Name() != "NewDecoder" {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil && !seen[obj] {
+				seen[obj] = true
+				created = append(created, decoderSite{obj, as.Pos()})
+			}
+		}
+		return true
+	})
+
+	for _, site := range created {
+		obj, creation := site.obj, site.pos
+		strict := strictAt[obj]
+		sort.Slice(strict, func(i, j int) bool { return strict[i] < strict[j] })
+		decodes := decodeAt[obj]
+		sort.Slice(decodes, func(i, j int) bool { return decodes[i] < decodes[j] })
+		if len(decodes) == 0 {
+			if len(strict) == 0 {
+				pass.Reportf(creation,
+					"json.Decoder leaves this function without DisallowUnknownFields; config decoding must be strict")
+			}
+			continue
+		}
+		for _, d := range decodes {
+			if len(strict) == 0 || strict[0] > d {
+				pass.Reportf(d,
+					"Decode before DisallowUnknownFields; unknown fields in config inputs must be an error")
+			}
+		}
+	}
+}
+
+// rootObject peels selectors/parens/derefs off an expression and resolves
+// the base identifier's object.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		default:
+			return nil
+		}
+	}
+}

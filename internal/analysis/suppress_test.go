@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSuppressionForIdleAnalyzerNotStale pins a filtering subtlety: a
+// //fluxvet:allow comment for an analyzer that is not in the running set
+// must be left alone, not reported as stale. (Running a single analyzer —
+// as these fixture tests do — must not invalidate the tree's suppressions
+// for the other four.)
+func TestSuppressionForIdleAnalyzerNotStale(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "wallclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "repro/internal/fed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wallclock fixture contains a //fluxvet:allow wallclock comment;
+	// running only maporder over it must produce zero findings — neither
+	// map diagnostics (there are no maps) nor a stale-suppression report.
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{analysis.MapOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d.Format(pkg.Fset))
+	}
+}
+
+// TestAllOrderStable pins the suite listing: names are unique and the
+// order deterministic, since CI output diffs depend on it.
+func TestAllOrderStable(t *testing.T) {
+	want := []string{"maporder", "wallclock", "globalrand", "strictdecode", "sharedwrite"}
+	got := analysis.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() = %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: incomplete analyzer", a.Name)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Fixture for the globalrand analyzer: the process-global math/rand
+// stream and wall-clock seeding are flagged; explicitly seeded sources and
+// methods on them are not.
+package fed
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `math/rand.Intn draws from the process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand.Shuffle draws from the process-global source`
+}
+
+func globalV2() int {
+	return randv2.IntN(10) // want `math/rand/v2.IntN draws from the process-global source`
+}
+
+func seededSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors with an explicit seed are the approved shape
+}
+
+func methodOnSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // method on an explicit *rand.Rand, not the global stream
+}
+
+func launderedWallClock() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `seeded from the wall clock`
+}
+
+func seededV2(a, b uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(a, b))
+}

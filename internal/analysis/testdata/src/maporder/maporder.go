@@ -1,0 +1,84 @@
+// Fixture for the maporder analyzer: map ranges whose bodies are
+// order-sensitive must be flagged; the sorted-keys collect idiom, var-free
+// ranges, slice ranges, and justified suppressions must not.
+package fed
+
+import "sort"
+
+func floatSumInMapOrder(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iterated in randomized order`
+		total += v
+	}
+	return total
+}
+
+func appendInMapOrder(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `map iterated in randomized order`
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func sortedKeysIdiom(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-only body: auto-allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys { // slice range: not a map
+		total += m[k]
+	}
+	return total
+}
+
+func collectKeysAndValues(m map[string]int) ([]string, []int) {
+	var ks []string
+	var vs []int
+	for k, v := range m { // two appends, still collect-only: auto-allowed
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	return ks, vs
+}
+
+func countWithoutVars(m map[string]int) int {
+	n := 0
+	for range m { // no iteration variables: body cannot observe order
+		n++
+	}
+	return n
+}
+
+func justifiedCopy(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	//fluxvet:unordered map-to-map copy; per-key writes, element order irrelevant
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func unjustifiedSuppression(m map[string]int) int {
+	n := 0
+	// want `suppression needs an analyzer name and a written justification`
+	//fluxvet:unordered
+	for _, v := range m { // suppressed, but the empty reason is reported on the directive line
+		n += v
+	}
+	return n
+}
+
+func staleSuppression(xs []int) int {
+	n := 0
+	// want `stale suppression: no maporder finding here to silence`
+	//fluxvet:unordered slices iterate in index order; nothing to silence here
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+// Fixture for the strictdecode analyzer: every json.Decoder on config
+// inputs must call DisallowUnknownFields before Decode, and json.Unmarshal
+// (which cannot be strict) is flagged outright.
+package flux
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+type scenario struct {
+	Name string `json:"name"`
+}
+
+func lenientUnmarshal(data []byte) (scenario, error) {
+	var s scenario
+	err := json.Unmarshal(data, &s) // want `json.Unmarshal silently drops unknown fields`
+	return s, err
+}
+
+func decodeBeforeStrict(r io.Reader) (scenario, error) {
+	dec := json.NewDecoder(r)
+	var s scenario
+	err := dec.Decode(&s) // want `Decode before DisallowUnknownFields`
+	return s, err
+}
+
+func chainedDecode(data []byte) (scenario, error) {
+	var s scenario
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&s) // want `chains past DisallowUnknownFields`
+	return s, err
+}
+
+func neverStrict(r io.Reader) *json.Decoder {
+	dec := json.NewDecoder(r) // want `leaves this function without DisallowUnknownFields`
+	return dec
+}
+
+func strictDecode(data []byte) (scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s scenario
+	err := dec.Decode(&s)
+	return s, err
+}
+
+func strictThenHandedOff(r io.Reader) *json.Decoder {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec
+}

@@ -1,0 +1,15 @@
+// Fixture for the wallclock analyzer's cmd exemption: CLI packages may
+// report real elapsed time — progress output is I/O surface, not
+// simulation. Checked under an import path containing /cmd/, so nothing
+// here is flagged.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

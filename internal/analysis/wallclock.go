@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallClock forbids reading or waiting on the wall clock in simulation and
+// engine code. Every duration in an experiment must flow through
+// internal/simtime so that results are a pure function of the configuration
+// and seed; a stray time.Now or time.Sleep makes timing (and anything
+// derived from it) differ between runs and machines.
+//
+// Command-line packages (…/cmd/…) are exempt — progress reporting on a
+// terminal is I/O surface, not simulation. Real I/O deadlines (socket
+// read/write timeouts in the TCP transport) and real-time test-harness
+// bounds are legitimate wall-clock uses; they carry
+// //fluxvet:allow wallclock <reason> justifications.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since/Sleep and friends outside internal/simtime; simulated experiments must not read the wall clock",
+	Run:  runWallClock,
+}
+
+// wallClockFuncs are the package time functions that observe or wait on
+// real time. Pure-value helpers (time.Duration arithmetic, time.Unix,
+// time.Parse) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallClock(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if !wallClockFuncs[obj.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; simulated time must flow through internal/simtime (real I/O deadlines: //fluxvet:allow wallclock <reason>)",
+				obj.Name())
+			return true
+		})
+	}
+	return nil
+}

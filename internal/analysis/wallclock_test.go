@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "wallclock"), "repro/internal/fed", analysis.WallClock)
+}
+
+// TestWallClockCmdExemption checks the same kind of code is allowed when it
+// lives under a cmd/ import path: CLI progress output may read the clock.
+func TestWallClockCmdExemption(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "wallclock_cmd"), "repro/cmd/fluxfake", analysis.WallClock)
+}

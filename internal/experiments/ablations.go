@@ -180,6 +180,7 @@ func Figure16(o Options) *Table {
 			budgets[i] = per
 		}
 		timeIt := func(fused bool) float64 {
+			//fluxvet:allow wallclock microbenchmark measuring real clustering kernel cost for the ablation table
 			start := time.Now()
 			for r := 0; r < reps; r++ {
 				b := append([]int(nil), budgets...)
@@ -193,6 +194,7 @@ func Figure16(o Options) *Table {
 					panic(err)
 				}
 			}
+			//fluxvet:allow wallclock microbenchmark measuring real clustering kernel cost for the ablation table
 			return float64(time.Since(start).Microseconds()) / float64(reps) / 1000
 		}
 		layerMs := timeIt(false)

@@ -62,6 +62,7 @@ func convergenceRun(o Options, model, method string, profile data.Profile, parti
 
 func phaseMap(c *simtime.Clock) map[string]float64 {
 	out := make(map[string]float64)
+	//fluxvet:unordered Phase→string map copy; per-key writes, element order irrelevant
 	for p, v := range c.Breakdown() {
 		out[string(p)] = v
 	}

@@ -1,0 +1,91 @@
+package fed
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBaseModelConcurrent pins the synchronization contract of the base-model
+// cache: baseMu is held across the whole of BaseModelContext (including the
+// cold-path pre-train), so concurrent callers — even racing on a cold cache —
+// are safe, deterministic, and each receive a private clone. Run under
+// -race this doubles as the audit that baseCache has no unsynchronized
+// access path.
+func TestBaseModelConcurrent(t *testing.T) {
+	ResetBaseModelCache()
+	t.Cleanup(ResetBaseModelCache)
+
+	modelCfg := smallModelCfg()
+	cfg := smallConfig()
+
+	const callers = 8
+	type result struct {
+		embed []float64
+		err   error
+	}
+	out := make([]result, callers)
+	ptrs := make([]*float64, callers)
+
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := BaseModel(modelCfg, cfg)
+			if err != nil {
+				out[i] = result{err: err}
+				return
+			}
+			out[i] = result{embed: m.Embed.Data}
+			ptrs[i] = &m.Embed.Data[0]
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range out {
+		if r.err != nil {
+			t.Fatalf("caller %d: %v", i, r.err)
+		}
+	}
+	// Every caller sees bit-identical weights (one pre-train populated the
+	// cache; the rest cloned it), but through independent storage.
+	base := out[0].embed
+	for i := 1; i < callers; i++ {
+		if len(out[i].embed) != len(base) {
+			t.Fatalf("caller %d: embed length %d != %d", i, len(out[i].embed), len(base))
+		}
+		for j := range base {
+			if out[i].embed[j] != base[j] {
+				t.Fatalf("caller %d: embed[%d] = %v, want %v (cache clones diverged)", i, j, out[i].embed[j], base[j])
+			}
+		}
+		if ptrs[i] == ptrs[0] {
+			t.Fatalf("caller %d shares parameter storage with caller 0; BaseModel must return private clones", i)
+		}
+	}
+}
+
+// TestBaseModelCloneIsolation verifies that mutating a returned clone does
+// not leak into the cache: a later call still sees the original weights.
+func TestBaseModelCloneIsolation(t *testing.T) {
+	ResetBaseModelCache()
+	t.Cleanup(ResetBaseModelCache)
+
+	modelCfg := smallModelCfg()
+	cfg := smallConfig()
+
+	m1, err := BaseModel(modelCfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m1.Embed.Data[0]
+	m1.Embed.Data[0] = orig + 42
+
+	m2, err := BaseModel(modelCfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Embed.Data[0] != orig {
+		t.Fatalf("cache polluted by clone mutation: got %v, want %v", m2.Embed.Data[0], orig)
+	}
+}

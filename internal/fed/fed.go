@@ -385,6 +385,7 @@ func Aggregate(global *moe.Model, updates []Update) int {
 		if w <= 0 {
 			w = 1
 		}
+		//fluxvet:unordered per-key accumulators: each expert folds its float sum in update (outer-loop) order; key visit order only interleaves independent accs
 		for key, params := range u.Experts {
 			a := accs[key]
 			if a == nil {
@@ -397,6 +398,7 @@ func Aggregate(global *moe.Model, updates []Update) int {
 			a.weight += w
 		}
 	}
+	//fluxvet:unordered disjoint per-expert writes into the global model; no cross-key accumulation
 	for key, a := range accs {
 		inv := 1 / a.weight
 		for i := range a.sum {
@@ -410,6 +412,7 @@ func Aggregate(global *moe.Model, updates []Update) int {
 // UpdateBytes returns the wire size of an update at FP32.
 func UpdateBytes(u Update) float64 {
 	var params int
+	//fluxvet:unordered integer size sum; addition order cannot change the total
 	for _, p := range u.Experts {
 		params += len(p)
 	}

@@ -67,11 +67,13 @@ type peer struct {
 }
 
 func (p *peer) send(v any) error {
+	//fluxvet:allow wallclock real socket write deadline; network I/O is outside simulated time
 	p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
 	return p.enc.Encode(v)
 }
 
 func (p *peer) recv(v any) error {
+	//fluxvet:allow wallclock real socket read deadline; network I/O is outside simulated time
 	p.conn.SetReadDeadline(time.Now().Add(p.timeout))
 	return p.dec.Decode(v)
 }
@@ -152,6 +154,7 @@ func (s *Server) Accept(ctx context.Context, ln net.Listener) error {
 		p := &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), timeout: s.timeout()}
 		stopConn := context.AfterFunc(ctx, func() { conn.Close() })
 		helloTimeout := min(s.timeout(), maxHelloTimeout)
+		//fluxvet:allow wallclock real Hello-handshake deadline on the listener socket
 		conn.SetReadDeadline(time.Now().Add(helloTimeout))
 		var h Hello
 		err = p.dec.Decode(&h)

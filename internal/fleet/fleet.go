@@ -17,6 +17,7 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -247,10 +248,14 @@ func (t *Trace) Available(r, n int) []int {
 	return out
 }
 
-// ParseTrace decodes a JSON availability trace ({"rounds": [[0,1,2], ...]}).
+// ParseTrace decodes a JSON availability trace ({"rounds": [[0,1,2], ...]}),
+// rejecting unknown fields — a typo'd key in a trace file must fail loudly,
+// matching the flux.LoadScenario strict-decoding contract.
 func ParseTrace(data []byte) (*Trace, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var t Trace
-	if err := json.Unmarshal(data, &t); err != nil {
+	if err := dec.Decode(&t); err != nil {
 		return nil, fmt.Errorf("fleet: parsing trace: %w", err)
 	}
 	if err := t.Validate(0); err != nil {

@@ -136,12 +136,14 @@ func (s *ActivationStats) Merge(other *ActivationStats) {
 			s.AttnSum[l][e] += other.AttnSum[l][e]
 		}
 		if s.trackSamples && other.trackSamples {
+			//fluxvet:unordered per-expert sample-set union; expert keys are disjoint destinations
 			for e, set := range other.Samples[l] {
 				dst := s.Samples[l][e]
 				if dst == nil {
 					dst = make(map[int]struct{}, len(set))
 					s.Samples[l][e] = dst
 				}
+				//fluxvet:unordered set insertion; the resulting set is order-independent
 				for id := range set {
 					dst[id] = struct{}{}
 				}

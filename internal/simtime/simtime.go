@@ -223,6 +223,7 @@ func (c *Clock) PhaseSeconds(p Phase) float64 { return c.byPhase[p] }
 // Breakdown returns a copy of the per-phase accumulation.
 func (c *Clock) Breakdown() map[Phase]float64 {
 	out := make(map[Phase]float64, len(c.byPhase))
+	//fluxvet:unordered map-to-map copy; per-key writes, element order irrelevant
 	for k, v := range c.byPhase {
 		out[k] = v
 	}

@@ -87,6 +87,7 @@ func (t *inProcess) Round(ctx context.Context, r int) (RoundStats, error) {
 	}
 	obs := t.env.TakeRoundObs()
 	ps := make(map[string]float64, len(phases))
+	//fluxvet:unordered map-to-map copy; per-key writes, element order irrelevant
 	for p, v := range phases {
 		ps[string(p)] = v
 	}
