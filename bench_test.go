@@ -78,11 +78,13 @@ func BenchmarkFigure20Overhead(b *testing.B)    { benchExperiment(b, "figure20")
 // homogeneous one. It is the headline number for the parallel execution
 // layer: the curve from workers=1 to workers=8 is the wall-clock speedup the
 // pool buys on this machine, with results bit-identical at every width
-// (TestSerialParallelBitEquality pins that). CI runs it and publishes
-// BENCH_round.json (see cmd/benchjson, whose name parsing tolerates the
-// extra fleet dimension).
+// (TestSerialParallelBitEquality pins that). The fleet cases carry a mode
+// dimension — sync barriers on the straggler-resolved cohort, async runs the
+// event-driven buffered core — so the aggregation refactor's cost is tracked
+// per mode. CI runs it and publishes BENCH_round.json (see cmd/benchjson,
+// whose name parsing tolerates the extra fleet and mode dimensions).
 func BenchmarkRound(b *testing.B) {
-	runCase := func(b *testing.B, method string, workers, participants int, spec fleet.Spec) {
+	runCase := func(b *testing.B, method string, workers, participants int, spec fleet.Spec, agg fed.AggSpec) {
 		cfg := fed.DefaultConfig()
 		cfg.Participants = participants
 		cfg.Batch = 3
@@ -92,6 +94,7 @@ func BenchmarkRound(b *testing.B) {
 		cfg.PretrainSteps = 60
 		cfg.Workers = workers
 		cfg.Fleet = spec
+		cfg.Agg = agg
 		env, err := fed.NewEnv(moe.SimConfigLLaMATrain(), data.GSM8K(), cfg, "bench-round")
 		if err != nil {
 			b.Fatal(err)
@@ -115,16 +118,25 @@ func BenchmarkRound(b *testing.B) {
 		Drop:         true,
 		Seed:         "bench",
 	}
+	// The async case runs the same heterogeneous fleet through the
+	// event-driven core (buffered flushes, carry-over) instead of the barrier
+	// reduction; agg-active mode never drops, so the drop policy comes off.
+	heteroAsync := hetero
+	heteroAsync.Deadline, heteroAsync.Drop = 0, false
+	asyncSpec := fed.AggSpec{Mode: fed.ModeAsync, BufferK: 4, StalenessAlpha: 0.5}
 	for _, method := range []string{"flux", "fmd"} {
 		for _, workers := range []int{1, 2, 8} {
 			b.Run(fmt.Sprintf("method=%s/workers=%d", method, workers), func(b *testing.B) {
-				runCase(b, method, workers, 8, fleet.Spec{})
+				runCase(b, method, workers, 8, fleet.Spec{}, fed.AggSpec{})
 			})
 		}
 		// 12 participants so round-robin assignment of the 9-profile longtail
 		// distribution actually lands a straggler (index 8) in the fleet.
-		b.Run(fmt.Sprintf("method=%s/workers=8/fleet=longtail", method), func(b *testing.B) {
-			runCase(b, method, 8, 12, hetero)
+		b.Run(fmt.Sprintf("method=%s/workers=8/fleet=longtail/mode=sync", method), func(b *testing.B) {
+			runCase(b, method, 8, 12, hetero, fed.AggSpec{})
+		})
+		b.Run(fmt.Sprintf("method=%s/workers=8/fleet=longtail/mode=async", method), func(b *testing.B) {
+			runCase(b, method, 8, 12, heteroAsync, asyncSpec)
 		})
 	}
 }

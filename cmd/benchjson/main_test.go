@@ -39,6 +39,16 @@ func TestParseLine(t *testing.T) {
 			ok: true,
 		},
 		{
+			name: "aggregation mode dimension passes through",
+			line: "BenchmarkRound/method=fmd/workers=8/fleet=longtail/mode=async-8  4  5678 ns/op",
+			want: Result{
+				Name: "BenchmarkRound/method=fmd/workers=8/fleet=longtail/mode=async", Iterations: 4,
+				NsPerOp: 5678,
+				Params:  map[string]string{"method": "fmd", "workers": "8", "fleet": "longtail", "mode": "async"},
+			},
+			ok: true,
+		},
+		{
 			name: "non-pair segments are tolerated",
 			line: "BenchmarkRound/quick/workers=2-4  5  99 ns/op",
 			want: Result{

@@ -8,6 +8,9 @@
 //	fluxsim -exp figure10 -fleet longtail
 //	                                 # a paper experiment on a built-in
 //	                                 # heterogeneous fleet distribution
+//	fluxsim -exp figure10 -fleet longtail -agg async -buffer-k 5
+//	                                 # the same experiment under buffered-
+//	                                 # async aggregation
 //	fluxsim -list                    # show available experiment ids
 //	fluxsim -scenario scenarios/straggler-drop.json
 //	                                 # one fleet scenario: heterogeneous
@@ -31,9 +34,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, figure1, ... figure20) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1, figure1, ... figure20, staleness) or 'all'")
 	scenario := flag.String("scenario", "", "fleet scenario file (JSON); overrides -exp")
 	fleetDist := flag.String("fleet", "", "run -exp experiments under a built-in fleet distribution (uniform, tiered, longtail, flaky)")
+	aggMode := flag.String("agg", "", "run -exp experiments under an aggregation mode (sync, async, semisync)")
+	bufferK := flag.Int("buffer-k", 0, "async aggregation buffer size (0 = half the cohort); requires -agg")
+	stalenessAlpha := flag.Float64("staleness-alpha", 0, "staleness discount exponent for async/semisync aggregation; requires -agg")
 	quick := flag.Bool("quick", false, "reduced rounds/samples; same workload shapes")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "participant worker pool per round (1 = serial); results are bit-identical at any setting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -46,8 +52,8 @@ func main() {
 	if *scenario != "" {
 		// A scenario file fixes its own scale and fleet; refuse flags that
 		// would be silently ignored (-exp alone is documented as overridden).
-		if *quick || *fleetDist != "" {
-			fmt.Fprintln(os.Stderr, "fluxsim: -scenario cannot be combined with -quick or -fleet (the scenario file fixes scale and fleet)")
+		if *quick || *fleetDist != "" || *aggMode != "" || *bufferK != 0 || *stalenessAlpha != 0 {
+			fmt.Fprintln(os.Stderr, "fluxsim: -scenario cannot be combined with -quick, -fleet, or the -agg flags (the scenario file fixes scale, fleet, and aggregation)")
 			os.Exit(1)
 		}
 		if err := runScenario(*scenario, *workers); err != nil {
@@ -64,6 +70,17 @@ func main() {
 		}
 		fleetSpec.Distribution = *fleetDist
 	}
+	var aggSpec flux.AggregationSpec
+	if *aggMode != "" {
+		aggSpec = flux.AggregationSpec{Mode: *aggMode, BufferK: *bufferK, StalenessAlpha: *stalenessAlpha}
+		if err := aggSpec.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "fluxsim:", err)
+			os.Exit(1)
+		}
+	} else if *bufferK != 0 || *stalenessAlpha != 0 {
+		fmt.Fprintln(os.Stderr, "fluxsim: -buffer-k and -staleness-alpha need -agg async or -agg semisync")
+		os.Exit(1)
+	}
 	ids := flux.Experiments()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
@@ -72,7 +89,7 @@ func main() {
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
-		if err := flux.RunExperimentOpts(id, flux.ExperimentOptions{Quick: *quick, Parallelism: *workers, Fleet: fleetSpec}, os.Stdout); err != nil {
+		if err := flux.RunExperimentOpts(id, flux.ExperimentOptions{Quick: *quick, Parallelism: *workers, Fleet: fleetSpec, Aggregation: aggSpec}, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "fluxsim:", err)
 			failed++
 			continue
@@ -123,6 +140,9 @@ func runScenario(path string, workers int) error {
 			if ev.Dropped > 0 {
 				line += fmt.Sprintf("  dropped=%d  idle=%.0fs", ev.Dropped, ev.Phases[string(flux.PhaseStraggler)])
 			}
+			if ev.ModelVersion > 0 {
+				line += fmt.Sprintf("  v=%d stale=%d pending=%d", ev.ModelVersion, ev.Stale, ev.Pending)
+			}
 			fmt.Println(line)
 		}),
 	)
@@ -134,7 +154,11 @@ func runScenario(path string, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  final=%.4f best=%.4f simulated=%.2fh uplink=%.1fMB participation=%d/%d (dropped %d)\n\n",
-		res.Final, res.Best, res.SimHours, res.UplinkBytes/1e6, res.Completed, res.Selected, res.Dropped)
+	fmt.Printf("  final=%.4f best=%.4f simulated=%.2fh uplink=%.1fMB downlink=%.1fMB participation=%d/%d (dropped %d)\n",
+		res.Final, res.Best, res.SimHours, res.UplinkBytes/1e6, res.DownlinkBytes/1e6, res.Completed, res.Selected, res.Dropped)
+	if res.ModelVersion > 0 {
+		fmt.Printf("  aggregation: model version %d, %d stale merges\n", res.ModelVersion, res.Stale)
+	}
+	fmt.Println()
 	return nil
 }

@@ -53,6 +53,23 @@
 // spec as one reviewable JSON artifact, and RoundEvent reports each round's
 // Selected/Completed/Dropped counts and straggler-wait idle time.
 //
+// Server aggregation is a policy, not a barrier. An AggregationSpec
+// (WithAggregation; the "aggregation" scenario field; `fluxsim -agg`)
+// selects among three modes run by an event-driven server core: "sync" (the
+// default — the historical barrier reduction, bit-identical to the
+// pre-aggregation engine and pinned by the golden fixtures), "async"
+// (FedBuff-style buffered aggregation: the server flushes every BufferK
+// arrivals into a version-tagged global model, scaling an update s versions
+// stale by 1/(1+s)^StalenessAlpha, and never idles at a deadline), and
+// "semisync" (the fleet deadline becomes a fixed round clock; on-time
+// updates aggregate at the tick). Neither event-driven mode ever drops an
+// update — late arrivals carry into the next round's buffer and merge
+// stale — so the participation census conserves: Selected equals Completed
+// plus the final Pending. RoundEvent carries the accounting (ModelVersion,
+// Stale, Pending, DownlinkBytes), fluxtest holds every method to
+// bit-identical async curves at any worker count, and the TCP transport
+// rejects active aggregation specs (its wire protocol is synchronous).
+//
 // The determinism contract is enforced statically. cmd/fluxvet (backed by
 // internal/analysis, dependency-free) lints the tree in CI with five
 // analyzers: maporder (no map-order iteration into results), wallclock (no

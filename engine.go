@@ -182,6 +182,38 @@ func ForEachCohort(env *Env, cohort []int, fn func(s *Scratch, slot, participant
 // phase map when the drop policy cut someone.
 type StragglerOutcome = fed.StragglerOutcome
 
+// AggregationSpec selects the server's aggregation mode: synchronous (the
+// zero value), buffered-async, or semi-synchronous. See WithAggregation and
+// the "Aggregation modes" section of the README for the semantics of each
+// mode, the buffer size, and staleness weighting.
+type AggregationSpec = fed.AggSpec
+
+// The aggregation mode names AggregationSpec.Mode accepts. The empty string
+// means AggSync.
+const (
+	// AggSync is the classic synchronous protocol: every round barriers on
+	// the whole cohort (minus deadline drops) before one aggregation.
+	AggSync = fed.ModeSync
+	// AggAsync is buffered-async (FedBuff-style): the server aggregates as
+	// soon as BufferK updates arrive, weighting each by
+	// 1/(1+staleness)^StalenessAlpha against a version-tagged global model.
+	// Each flush blends into the global at server rate buffer/cohort (the
+	// current parameters anchor the weighted mean), and leftover updates
+	// carry into the next round's buffer.
+	AggAsync = fed.ModeAsync
+	// AggSemiSync runs a fixed round clock (the fleet deadline): updates
+	// arriving by the clock aggregate together; late updates are never
+	// dropped — they carry into the next round's buffer with their staleness.
+	AggSemiSync = fed.ModeSemiSync
+)
+
+// SlotResult is one cohort slot's finished work, handed to Env.FinishRound
+// by a Rounder running under an active AggregationSpec: the participant's
+// update, its modeled uplink and downlink payloads, and its per-phase
+// simulated seconds (whose sum is the participant's end-to-end round time,
+// used to order arrivals at the server).
+type SlotResult = fed.SlotResult
+
 // TuneAllExperts returns per-layer expert-id lists naming every expert of m
 // — the tuning set of a full-model method, and exactly what the TCP wire
 // protocol fine-tunes by default.

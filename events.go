@@ -16,6 +16,10 @@ type RoundEvent struct {
 	Elapsed time.Duration
 	// UplinkBytes is the update payload participants uploaded this round.
 	UplinkBytes float64
+	// DownlinkBytes is the payload the server broadcast to participants this
+	// round — modeled bytes in-process, actual wire bytes over TCP. Zero on
+	// round 0.
+	DownlinkBytes float64
 	// ExpertsTouched is how many distinct experts aggregation updated.
 	ExpertsTouched int
 	// Selected is how many participants the cohort selector picked for the
@@ -29,6 +33,21 @@ type RoundEvent struct {
 	Selected  int
 	Completed int
 	Dropped   int
+	// ModelVersion is the global model's version after this round: the
+	// number of aggregations the server has published so far. Under
+	// synchronous aggregation it is zero (the concept is unused); under an
+	// active AggregationSpec it advances by one per buffer flush, so async
+	// rounds can advance it more than once.
+	ModelVersion int
+	// Stale counts updates aggregated this round that trained against an
+	// older model version than the one they merged into; their contribution
+	// was discounted by 1/(1+staleness)^alpha. Always zero under synchronous
+	// aggregation.
+	Stale int
+	// Pending is how many updates sit in the server's carry-over buffer
+	// after this round, awaiting aggregation in a later round. Always zero
+	// under synchronous aggregation.
+	Pending int
 	// Phases breaks the round's simulated seconds down by phase
 	// (profiling, merging, assignment, fine-tuning, communication, and
 	// straggler-wait when a drop deadline leaves the server idle);

@@ -107,6 +107,7 @@ type Result struct {
 	SimHours               float64 // simulated time (in-process transport)
 	Elapsed                time.Duration
 	UplinkBytes            float64 // total update payload uploaded
+	DownlinkBytes          float64 // total payload broadcast to participants
 	// Selected/Completed/Dropped total the per-round participation census
 	// over the run (zero without an active FleetSpec-aware transport):
 	// cohort members picked, of those aggregated within the straggler
@@ -114,6 +115,11 @@ type Result struct {
 	Selected  int
 	Completed int
 	Dropped   int
+	// ModelVersion is the final global-model version (aggregations
+	// published) and Stale the total staleness-discounted updates merged;
+	// both zero under synchronous aggregation (see RoundEvent).
+	ModelVersion int
+	Stale        int
 	Phases    map[string]float64
 	Events    []RoundEvent // the full convergence curve, round 0 included
 }
@@ -214,9 +220,12 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		clock.AdvanceAll(phases) // sorted: simulated time accumulates bit-reproducibly
 		res.Rounds = r + 1
 		res.UplinkBytes += stats.UplinkBytes
+		res.DownlinkBytes += stats.DownlinkBytes
 		res.Selected += stats.Selected
 		res.Completed += stats.Completed
 		res.Dropped += stats.Dropped
+		res.Stale += stats.Stale
+		res.ModelVersion = stats.ModelVersion
 		score = env.Evaluate()
 		if score > res.Best {
 			res.Best = score
@@ -228,10 +237,14 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 			//fluxvet:allow wallclock wall-time observability in the event stream; never folded into results
 			Elapsed:        time.Since(start),
 			UplinkBytes:    stats.UplinkBytes,
+			DownlinkBytes:  stats.DownlinkBytes,
 			ExpertsTouched: stats.ExpertsTouched,
 			Selected:       stats.Selected,
 			Completed:      stats.Completed,
 			Dropped:        stats.Dropped,
+			ModelVersion:   stats.ModelVersion,
+			Stale:          stats.Stale,
+			Pending:        stats.Pending,
 			Phases:         stats.Phases,
 		})
 		if target > 0 && score >= target {

@@ -8,7 +8,11 @@
 //   - determinism under a fixed seed (bit-identical convergence curves),
 //   - bit-identical curves between serial (workers=1) and pooled (workers=8)
 //     participant execution,
-//   - context cancellation observed within a bound,
+//   - the same bit-identity under buffered-async and semi-sync aggregation
+//     at any worker count, plus carry-over conservation (semi-sync never
+//     drops an update — late ones buffer into later rounds),
+//   - context cancellation observed within a bound, including under an
+//     active aggregation spec,
 //   - deterministic aggregation order (socket transports must produce the
 //     same floating-point accumulation regardless of connection order),
 //   - a well-formed event stream (rounds strictly increasing from 0,
@@ -188,11 +192,92 @@ func TestRounder(t *testing.T, s RounderSpec) {
 		}
 	})
 
+	t.Run("AsyncDeterminism", func(t *testing.T) {
+		// The buffered-async contract: with a heterogeneous fleet and a
+		// buffer smaller than the cohort, flush order is decided by modeled
+		// arrival times, never by worker scheduling — two runs, and any
+		// worker count, produce bit-identical curves, census, and staleness
+		// accounting. A Rounder that ignores the aggregation spec (doing its
+		// own synchronous aggregation) passes as long as it is deterministic.
+		acfg := QuickConfig("fluxtest/async/"+s.Name, method)
+		acfg.Fleet = flux.FleetSpec{Distribution: "tiered", Seed: "fluxtest"}
+		acfg.Aggregation = flux.AggregationSpec{Mode: flux.AggAsync, BufferK: 2, StalenessAlpha: 0.5}
+		a := runOnce(t, acfg, nil)
+		b := runOnce(t, acfg, nil)
+		assertSameCurves(t, a, b, "first async run", "second async run")
+		assertSameCensus(t, a, b, "first async run", "second async run")
+		for _, workers := range []int{1, 8} {
+			wcfg := acfg
+			wcfg.Workers = workers
+			got := runOnce(t, wcfg, nil)
+			assertSameCurves(t, a, got, "default-workers async run", fmt.Sprintf("workers=%d async run", workers))
+			assertSameCensus(t, a, got, "default-workers async run", fmt.Sprintf("workers=%d async run", workers))
+		}
+		assertEventStream(t, a)
+	})
+
+	t.Run("SemiSyncCarryOver", func(t *testing.T) {
+		// The semi-sync contract: the round clock never drops an update —
+		// every selected participant is either aggregated by the clock or
+		// carried into a later round's buffer. Conservation over the run:
+		// total selected == total completed + updates still buffered at the
+		// end. Holds trivially (pending 0) for Rounders that ignore the
+		// aggregation spec.
+		scfg := QuickConfig("fluxtest/semisync/"+s.Name, method)
+		scfg.Fleet = flux.FleetSpec{Distribution: "tiered", Deadline: 20000, Seed: "fluxtest"}
+		scfg.Aggregation = flux.AggregationSpec{Mode: flux.AggSemiSync, StalenessAlpha: 1}
+		a := runOnce(t, scfg, nil)
+		b := runOnce(t, scfg, nil)
+		assertSameCurves(t, a, b, "first semisync run", "second semisync run")
+		assertSameCensus(t, a, b, "first semisync run", "second semisync run")
+		pending := 0
+		for _, ev := range a.Events {
+			if ev.Dropped != 0 {
+				t.Errorf("round %d dropped %d updates; semisync must never drop", ev.Round, ev.Dropped)
+			}
+			pending = ev.Pending
+		}
+		if a.Selected != a.Completed+pending {
+			t.Errorf("carry-over accounting broken: %d selected != %d completed + %d still pending",
+				a.Selected, a.Completed, pending)
+		}
+	})
+
 	t.Run("EventStream", func(t *testing.T) {
 		if reference == nil {
 			t.Skip("no reference run (Determinism failed)")
 		}
 		assertEventStream(t, reference)
+	})
+
+	t.Run("AsyncCancellation", func(t *testing.T) {
+		// Cancellation under an active aggregation spec: a pre-canceled
+		// context must abandon the round before anything reaches the
+		// server's buffer.
+		acfg := QuickConfig("fluxtest/async-cancel/"+s.Name, method)
+		acfg.Aggregation = flux.AggregationSpec{Mode: flux.AggAsync, BufferK: 2}
+		env, err := flux.NewEnv(context.Background(), acfg)
+		if err != nil {
+			t.Fatalf("NewEnv: %v", err)
+		}
+		r := s.New(env.Cfg)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		env.SetContext(ctx)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			r.Round(env, 0)
+		}()
+		select {
+		case <-done:
+		case <-time.After(bound):
+			t.Fatalf("Round did not observe the canceled context within %v", bound)
+		}
+		if obs := env.TakeRoundObs(); obs.ExpertsTouched != 0 || obs.Pending != 0 {
+			t.Errorf("Round aggregated %d experts and buffered %d updates despite a pre-canceled context",
+				obs.ExpertsTouched, obs.Pending)
+		}
 	})
 
 	t.Run("Cancellation", func(t *testing.T) {
@@ -304,6 +389,26 @@ func TestTransport(t *testing.T, s TransportSpec) {
 		assertEventStream(t, reference)
 	})
 
+	t.Run("Census", func(t *testing.T) {
+		// Every transport must report a participation census. Without a
+		// fleet spec all participants run and complete each round, so both
+		// counts equal the fleet size — the built-in TCP's synchronous
+		// protocol reports its full peer count. Downlink traffic must be
+		// observed too (modeled in-process, actual wire bytes over TCP).
+		if reference == nil {
+			t.Skip("no reference run (Determinism failed)")
+		}
+		for _, ev := range reference.Events[1:] {
+			if ev.Selected != cfg.Participants || ev.Completed != cfg.Participants || ev.Dropped != 0 {
+				t.Errorf("round %d: census %d selected / %d completed / %d dropped, want %d/%d/0",
+					ev.Round, ev.Selected, ev.Completed, ev.Dropped, cfg.Participants, cfg.Participants)
+			}
+			if ev.DownlinkBytes <= 0 {
+				t.Errorf("round %d observed no downlink traffic", ev.Round)
+			}
+		}
+	})
+
 	t.Run("Cancellation", func(t *testing.T) {
 		cancelCfg := cfg
 		cancelCfg.Seed = cfg.Seed + "/cancel"
@@ -399,9 +504,10 @@ func assertSameCurves(t *testing.T, a, b *flux.Result, aName, bName string) {
 }
 
 // assertSameCensus requires two results to agree on the per-round
-// participation census (cohort selected / completed within deadline). It is
-// a separate check from assertSameCurves because transports that do not
-// model fleets (TCP) legitimately report a zero census.
+// participation census (cohort selected / completed within deadline) and the
+// event-driven aggregation accounting (model version, stale merges, carry-over
+// buffer size). It is a separate check from assertSameCurves because
+// transports that do not model fleets (TCP) legitimately report a zero census.
 func assertSameCensus(t *testing.T, a, b *flux.Result, aName, bName string) {
 	t.Helper()
 	for i := range a.Events {
@@ -410,6 +516,11 @@ func assertSameCensus(t *testing.T, a, b *flux.Result, aName, bName string) {
 			t.Fatalf("round %d: participation census differs: %s=%d/%d/%d %s=%d/%d/%d",
 				ea.Round, aName, ea.Selected, ea.Completed, ea.Dropped,
 				bName, eb.Selected, eb.Completed, eb.Dropped)
+		}
+		if ea.ModelVersion != eb.ModelVersion || ea.Stale != eb.Stale || ea.Pending != eb.Pending {
+			t.Fatalf("round %d: aggregation accounting differs: %s v=%d stale=%d pending=%d, %s v=%d stale=%d pending=%d",
+				ea.Round, aName, ea.ModelVersion, ea.Stale, ea.Pending,
+				bName, eb.ModelVersion, eb.Stale, eb.Pending)
 		}
 	}
 }

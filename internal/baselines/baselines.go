@@ -40,7 +40,8 @@ func (FMD) Name() string { return "fmd" }
 // participant order afterwards.
 type baselineResult struct {
 	update            fed.Update
-	bytes             float64
+	bytes             float64 // uplink payload
+	downBytes         float64 // modeled broadcast payload received
 	localSec, profSec float64
 	commSec           float64
 }
@@ -75,11 +76,13 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
+		down := simtime.ModelBytes(cfg)
 		results[slot] = baselineResult{
-			update:   u,
-			bytes:    bytes,
-			localSec: trainSec + offloadSec,
-			commSec:  dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(simtime.ModelBytes(cfg)),
+			update:    u,
+			bytes:     bytes,
+			downBytes: down,
+			localSec:  trainSec + offloadSec,
+			commSec:   dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(down),
 		}
 	})
 	if err != nil {
@@ -92,7 +95,27 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 // the deadline, aggregate the kept updates in cohort order, report the
 // round's census, and build the phase map. All floating-point folding runs
 // in cohort order, so results are independent of worker scheduling.
+//
+// Under an active aggregation spec the reduction is the event-driven server
+// core's instead: per-slot results are handed to env.FinishRound, which owns
+// buffering, staleness weighting, and the round's time. The synchronous path
+// below is untouched by that branch — bit-identical to the pre-core engine.
 func finishRound(env *fed.Env, cohort []int, results []baselineResult) map[simtime.Phase]float64 {
+	if env.Cfg.Agg.Active() {
+		slots := make([]fed.SlotResult, len(results))
+		for slot, p := range results {
+			phases := map[simtime.Phase]float64{
+				simtime.PhaseFineTuning: p.localSec,
+				simtime.PhaseComm:       p.commSec,
+			}
+			if p.profSec > 0 {
+				phases[simtime.PhaseProfiling] = p.profSec
+			}
+			slots[slot] = fed.SlotResult{Update: p.update, Bytes: p.bytes, DownBytes: p.downBytes, Phases: phases}
+		}
+		return env.FinishRound(cohort, slots)
+	}
+
 	totals := make([]float64, len(results))
 	for slot, p := range results {
 		totals[slot] = p.localSec + p.profSec + p.commSec
@@ -114,6 +137,11 @@ func finishRound(env *fed.Env, cohort []int, results []baselineResult) map[simti
 	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
 	env.ObserveUplink(aggBytes)
 	env.ObserveCohort(len(cohort), outcome.Kept)
+	var downBytes float64
+	for _, p := range results {
+		downBytes += p.downBytes // whole cohort: the broadcast precedes the deadline
+	}
+	env.ObserveDownlink(downBytes)
 
 	phases := map[simtime.Phase]float64{
 		simtime.PhaseFineTuning: maxLocal,
@@ -173,11 +201,13 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u) * float64(bits) / 32
+		down := simtime.ModelBytes(cfg) * float64(bits) / 32
 		results[slot] = baselineResult{
-			update:   u,
-			bytes:    bytes,
-			localSec: trainSec + dev.QuantizeSeconds(cfg),
-			commSec:  dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(simtime.ModelBytes(cfg)*float64(bits)/32),
+			update:    u,
+			bytes:     bytes,
+			downBytes: down,
+			localSec:  trainSec + dev.QuantizeSeconds(cfg),
+			commSec:   dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(down),
 		}
 	})
 	if err != nil {
@@ -244,13 +274,14 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
+		down := float64(tune) * simtime.ExpertBytes(cfg)
 		results[slot] = baselineResult{
-			update:   u,
-			bytes:    bytes,
-			localSec: trainSec,
-			profSec:  profSec,
-			commSec: dev.UplinkSeconds(bytes) +
-				dev.DownlinkSeconds(float64(tune)*simtime.ExpertBytes(cfg)),
+			update:    u,
+			bytes:     bytes,
+			downBytes: down,
+			localSec:  trainSec,
+			profSec:   profSec,
+			commSec:   dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(down),
 		}
 	})
 	if err != nil {

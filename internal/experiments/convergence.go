@@ -25,7 +25,7 @@ func newRounder(name string, cfg fed.Config) fed.Rounder {
 // convergenceRun executes (or recalls) one (model, dataset, method,
 // participants) federated run to MaxRounds or the dataset target.
 func convergenceRun(o Options, model, method string, profile data.Profile, participants int, toTarget bool) *methodRun {
-	key := fmt.Sprintf("%s/%s/%s/p%d/q%v/t%v/f%s", model, method, profile.Name, participants, o.Quick, toTarget, fleetKey(o.Fleet))
+	key := fmt.Sprintf("%s/%s/%s/p%d/q%v/t%v/f%s/a%s", model, method, profile.Name, participants, o.Quick, toTarget, fleetKey(o.Fleet), aggKey(o.Agg))
 	memoMu.Lock()
 	if r, ok := runMemo[key]; ok {
 		memoMu.Unlock()

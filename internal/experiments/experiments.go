@@ -39,10 +39,27 @@ type Options struct {
 	// zero Spec reproduces the homogeneous full-participation figures;
 	// runMemo keys on it because results depend on it.
 	Fleet fleet.Spec
+
+	// Agg applies a server aggregation mode (buffered-async, semi-sync) to
+	// every federated run of the experiment. The zero spec is the paper's
+	// synchronous protocol; runMemo keys on it because results depend on it.
+	Agg fed.AggSpec
 }
 
 // fleetKey fingerprints the fleet spec for memoization keys.
 func fleetKey(s fleet.Spec) string {
+	if !s.Active() {
+		return ""
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Sprintf("%+v", s)
+	}
+	return string(blob)
+}
+
+// aggKey fingerprints the aggregation spec for memoization keys.
+func aggKey(s fed.AggSpec) string {
 	if !s.Active() {
 		return ""
 	}
@@ -108,6 +125,7 @@ func trainConfig(o Options) fed.Config {
 	cfg := fed.DefaultConfig()
 	cfg.Workers = o.Parallelism
 	cfg.Fleet = o.Fleet
+	cfg.Agg = o.Agg
 	if o.Quick {
 		cfg.Participants = 6
 		cfg.Batch = 5

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "figure1", "figure2", "figure3",
 		"figure5", "figure6", "figure8", "figure9", "figure10", "figure11",
 		"figure12", "figure13", "figure14", "figure15", "figure16",
-		"figure17", "figure18", "figure19", "figure20"}
+		"figure17", "figure18", "figure19", "figure20", "staleness"}
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
 			t.Fatalf("missing experiment %s", id)
@@ -24,7 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
 	}
 	order := Order()
-	if order[0] != "table1" || order[len(order)-1] != "figure20" {
+	if order[0] != "table1" || order[len(order)-1] != "staleness" {
 		t.Fatalf("order wrong: %v", order)
 	}
 }

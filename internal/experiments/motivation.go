@@ -222,6 +222,22 @@ func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	if err != nil {
 		return nil
 	}
+	if env.Cfg.Agg.Active() {
+		// Event-driven aggregation: hand per-slot results to the server core.
+		// Figure 3 itself never runs this way, but the Rounder must honor the
+		// engine's aggregation contract like any other method.
+		slots := make([]fed.SlotResult, len(cohort))
+		for slot, i := range cohort {
+			_, tune := env.Budgets(i)
+			slots[slot] = fed.SlotResult{
+				Update:    updates[slot],
+				Bytes:     fed.UpdateBytes(updates[slot]),
+				DownBytes: float64(tune) * simtime.ExpertBytes(cfg),
+				Phases:    map[simtime.Phase]float64{simtime.PhaseFineTuning: totals[slot]},
+			}
+		}
+		return env.FinishRound(cohort, slots)
+	}
 	outcome := env.ResolveStragglers(totals)
 	kept := make([]fed.Update, 0, outcome.Kept)
 	for slot := range updates {

@@ -12,26 +12,27 @@ type Generator func(Options) *Table
 // in the paper's order.
 func Registry() map[string]Generator {
 	return map[string]Generator{
-		"table1":   Table1,
-		"figure1":  Figure1,
-		"figure2":  Figure2,
-		"figure3":  Figure3,
-		"figure5":  Figure5,
-		"figure6":  Figure6,
-		"figure8":  Figure8,
-		"figure9":  Figure9,
-		"figure10": Figure10,
-		"figure11": Figure11,
-		"table2":   Table2,
-		"figure12": Figure12,
-		"figure13": Figure13,
-		"figure14": Figure14,
-		"figure15": Figure15,
-		"figure16": Figure16,
-		"figure17": Figure17,
-		"figure18": Figure18,
-		"figure19": Figure19,
-		"figure20": Figure20,
+		"table1":    Table1,
+		"figure1":   Figure1,
+		"figure2":   Figure2,
+		"figure3":   Figure3,
+		"figure5":   Figure5,
+		"figure6":   Figure6,
+		"figure8":   Figure8,
+		"figure9":   Figure9,
+		"figure10":  Figure10,
+		"figure11":  Figure11,
+		"table2":    Table2,
+		"figure12":  Figure12,
+		"figure13":  Figure13,
+		"figure14":  Figure14,
+		"figure15":  Figure15,
+		"figure16":  Figure16,
+		"figure17":  Figure17,
+		"figure18":  Figure18,
+		"figure19":  Figure19,
+		"figure20":  Figure20,
+		"staleness": Staleness,
 	}
 }
 
@@ -49,7 +50,7 @@ func rank(id string) int {
 	order := []string{"table1", "figure1", "figure2", "figure3", "figure5",
 		"figure6", "figure8", "figure9", "figure10", "figure11", "table2",
 		"figure12", "figure13", "figure14", "figure15", "figure16",
-		"figure17", "figure18", "figure19", "figure20"}
+		"figure17", "figure18", "figure19", "figure20", "staleness"}
 	for i, x := range order {
 		if x == id {
 			return i

@@ -54,6 +54,11 @@ type Config struct {
 	// round, no deadline — and produces bit-identical results to runs
 	// predating the fleet subsystem.
 	Fleet fleet.Spec
+
+	// Agg selects the server's aggregation discipline: synchronous barrier
+	// rounds (the zero value, bit-identical to runs predating the
+	// event-driven core), buffered-async, or semi-sync. See AggSpec.
+	Agg AggSpec
 }
 
 // DefaultConfig returns the settings used by the paper-shaped experiments:
@@ -94,6 +99,22 @@ func (c Config) Validate() error {
 	case c.Workers < 0:
 		return fmt.Errorf("fed: workers %d must be non-negative (0 = GOMAXPROCS)", c.Workers)
 	}
+	if err := c.Agg.Validate(); err != nil {
+		return err
+	}
+	if c.Agg.Active() {
+		// The drop policy is a synchronous-barrier concept; the event-driven
+		// modes never drop an update (late ones are discounted or carried).
+		if c.Fleet.Drop {
+			return fmt.Errorf("fed: aggregation mode %q never drops updates; remove the fleet drop policy", c.Agg.Mode)
+		}
+		if c.Agg.Mode == ModeSemiSync && c.Fleet.Deadline <= 0 {
+			return fmt.Errorf("fed: semisync aggregation needs a fleet deadline_sec > 0 as its round clock")
+		}
+		if c.Agg.BufferK > c.Participants {
+			return fmt.Errorf("fed: aggregation buffer_k %d exceeds the fleet size %d", c.Agg.BufferK, c.Participants)
+		}
+	}
 	return c.Fleet.Validate(c.Participants)
 }
 
@@ -119,6 +140,13 @@ type envState struct {
 	mu      sync.Mutex
 	obs     RoundObs
 	scratch []*Scratch
+
+	// Event-driven server core (AggSpec active): the global model's version
+	// (bumped once per buffer flush) and the carry-over buffer of updates
+	// awaiting aggregation. Both persist across rounds of one run and start
+	// fresh per CloneForMethod.
+	version int
+	pending []pendingUpdate
 }
 
 // envStateInit guards lazy state allocation for Env values assembled by
@@ -163,6 +191,11 @@ type RoundObs struct {
 	UplinkBytes    float64
 	ExpertsTouched int
 
+	// DownlinkBytes is the modeled broadcast payload participants received
+	// this round (the model or expert subset the server pushed down). Zero
+	// when a Rounder predates downlink reporting.
+	DownlinkBytes float64
+
 	// Selected is how many participants the cohort selector picked for the
 	// round; Completed is how many updates the server aggregated;
 	// Dropped = Selected - Completed. Under the drop policy Completed
@@ -174,6 +207,14 @@ type RoundObs struct {
 	Selected  int
 	Completed int
 	Dropped   int
+
+	// Event-driven aggregation observability (zero in synchronous mode):
+	// ModelVersion is the global model version after the round (one bump per
+	// buffer flush), Stale counts updates aggregated with staleness > 0, and
+	// Pending is the carry-over buffer size at the end of the round.
+	ModelVersion int
+	Stale        int
+	Pending      int
 }
 
 // SetContext attaches a cancellation context to the environment. Round
@@ -201,6 +242,17 @@ func (e *Env) ObserveUplink(bytes float64) {
 	st := e.st()
 	st.mu.Lock()
 	st.obs.UplinkBytes += bytes
+	st.mu.Unlock()
+}
+
+// ObserveDownlink accumulates modeled broadcast payload bytes (server →
+// participants) for the current round. The ordered-reduction contract of
+// ObserveUplink applies: the built-ins sum per-participant downlink bytes in
+// cohort order after the pool joins and call this once per round.
+func (e *Env) ObserveDownlink(bytes float64) {
+	st := e.st()
+	st.mu.Lock()
+	st.obs.DownlinkBytes += bytes
 	st.mu.Unlock()
 }
 

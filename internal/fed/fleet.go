@@ -108,6 +108,9 @@ func (e *Env) AddStragglerWait(phases map[simtime.Phase]float64, outcome Straggl
 		return
 	}
 	if wait := deadline - participantSec; wait > 0 {
-		phases[simtime.PhaseStraggler] = wait
+		// Accumulate: a Rounder may already have straggler time in the map
+		// (e.g. a retry or a phase it attributes there itself); assignment
+		// would silently clobber it.
+		phases[simtime.PhaseStraggler] += wait
 	}
 }

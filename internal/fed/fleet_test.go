@@ -103,6 +103,15 @@ func TestAddStragglerWait(t *testing.T) {
 		t.Fatalf("idle %v, want deadline(10) - window(6) = 4", got)
 	}
 
+	// Regression: a Rounder may already have straggler time in the map (a
+	// retry, or a phase it attributes there itself). AddStragglerWait must
+	// accumulate onto it, not clobber it.
+	phases = map[simtime.Phase]float64{simtime.PhaseStraggler: 3, simtime.PhaseFineTuning: 6}
+	env.AddStragglerWait(phases, outcome, 6)
+	if got := phases[simtime.PhaseStraggler]; got != 7 {
+		t.Fatalf("idle %v, want pre-existing(3) + shortfall(4) = 7 (clobbered, not accumulated?)", got)
+	}
+
 	// Window past the deadline: drop decisions are per-participant, the
 	// barriered window may still overshoot — no negative idle time.
 	phases = map[simtime.Phase]float64{}

@@ -78,11 +78,16 @@ func (p *peer) recv(v any) error {
 	return p.dec.Decode(v)
 }
 
-// RoundIO reports the wire traffic of one federated round.
+// RoundIO reports the wire traffic and participation of one federated round.
 type RoundIO struct {
 	UpBytes   float64 // participant → server update payloads
 	DownBytes float64 // server → participant model broadcasts
 	Experts   int     // distinct experts aggregated this round
+	// Selected/Completed are the round's participation census. The TCP
+	// protocol is synchronous — a round only returns once every connected
+	// peer's update arrived — so both equal the peer count.
+	Selected  int
+	Completed int
 }
 
 // Server coordinates federated fine-tuning over TCP.
@@ -234,6 +239,8 @@ func (s *Server) RunRound(ctx context.Context, r int) (RoundIO, error) {
 		io.UpBytes += UpdateBytes(u)
 	}
 	io.Experts = Aggregate(s.Global, updates)
+	io.Selected = len(peers)
+	io.Completed = len(peers)
 	s.mu.Lock()
 	s.round = r + 1
 	s.mu.Unlock()

@@ -88,6 +88,7 @@ func (r *Runner) Name() string { return "flux" }
 type participantResult struct {
 	update      fed.Update
 	bytes       float64
+	downBytes   float64 // modeled expert-subset broadcast received
 	localSec    float64
 	visibleProf float64
 	mergeSec    float64
@@ -178,8 +179,8 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		// --- Upload tuning expert parameters. ---
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
-		commSec := dev.UplinkSeconds(bytes) +
-			dev.DownlinkSeconds(float64(capacity)*simtime.ExpertBytes(cfg)) // model sync down
+		down := float64(capacity) * simtime.ExpertBytes(cfg) // model sync down
+		commSec := dev.UplinkSeconds(bytes) + dev.DownlinkSeconds(down)
 
 		// Aggregation + assignment happen server-side while the next
 		// profile is computed locally; stale profiling hides the overlap.
@@ -191,6 +192,7 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		results[slot] = participantResult{
 			update:      u,
 			bytes:       bytes,
+			downBytes:   down,
 			localSec:    mergeSec + trainSec + spsaSec,
 			visibleProf: visibleProf,
 			mergeSec:    mergeSec,
@@ -201,6 +203,30 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	if err != nil {
 		// Abandon the round: the caller discards partial work.
 		return nil
+	}
+
+	// Event-driven aggregation: hand per-slot results to the server core,
+	// which owns buffering, staleness weighting, and the round's time. The
+	// synchronous reduction below is untouched by this branch. The per-slot
+	// phase split mirrors the sync totals' structure (SPSA probes priced
+	// under assignment, merging split out of local time).
+	if env.Cfg.Agg.Active() {
+		slots := make([]fed.SlotResult, len(results))
+		for slot, p := range results {
+			slots[slot] = fed.SlotResult{
+				Update:    p.update,
+				Bytes:     p.bytes,
+				DownBytes: p.downBytes,
+				Phases: map[simtime.Phase]float64{
+					simtime.PhaseProfiling:  p.visibleProf,
+					simtime.PhaseMerging:    p.mergeSec,
+					simtime.PhaseAssignment: p.assignSec,
+					simtime.PhaseFineTuning: p.localSec - p.mergeSec,
+					simtime.PhaseComm:       p.commSec,
+				},
+			}
+		}
+		return env.FinishRound(cohort, slots)
 	}
 
 	// Straggler resolution: each participant's end-to-end round time is the
@@ -232,6 +258,11 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	env.ObserveAggregated(fed.Aggregate(env.Global, updates))
 	env.ObserveUplink(aggBytes)
 	env.ObserveCohort(len(cohort), outcome.Kept)
+	var downBytes float64
+	for _, p := range results {
+		downBytes += p.downBytes // whole cohort: the broadcast precedes the deadline
+	}
+	env.ObserveDownlink(downBytes)
 	serverSec := aggBytes / env.Cfg.ServerBw
 
 	phases := map[simtime.Phase]float64{

@@ -47,6 +47,12 @@ type Config struct {
 	// reproduces pre-fleet behavior bit-for-bit. In-process transport only;
 	// the TCP transport rejects fleet-active configurations.
 	Fleet FleetSpec
+
+	// Aggregation selects the server's aggregation mode: synchronous (the
+	// zero value, bit-identical to pre-aggregation-mode behavior),
+	// buffered-async, or semi-synchronous. In-process transport only; the
+	// TCP transport rejects active aggregation specs.
+	Aggregation AggregationSpec
 }
 
 // DefaultConfig returns the paper-shaped defaults: the Flux method on the
@@ -103,6 +109,7 @@ func (c Config) EngineConfig() EngineConfig {
 	f.ServerBw = c.ServerBandwidth
 	f.Workers = c.Workers
 	f.Fleet = c.Fleet
+	f.Agg = c.Aggregation
 	return f
 }
 
@@ -217,6 +224,20 @@ func WithDeadline(seconds float64, drop bool) Option {
 		e.cfg.Fleet.Deadline = seconds
 		e.cfg.Fleet.Drop = drop && seconds > 0
 	}
+}
+
+// WithAggregation selects the server's aggregation mode. The zero spec (or
+// Mode AggSync) is the classic synchronous protocol and reproduces
+// pre-aggregation-mode runs bit-for-bit. Mode AggAsync aggregates as soon as
+// BufferK updates arrive (default: half the cohort), discounting each update
+// by 1/(1+staleness)^StalenessAlpha, where staleness counts global-model
+// versions published since the update's participant last synced. Mode
+// AggSemiSync aggregates once per fixed round clock — the fleet deadline,
+// which must be set — and carries late updates into the next round instead
+// of dropping them. Active modes never drop updates, so they reject a fleet
+// drop policy.
+func WithAggregation(spec AggregationSpec) Option {
+	return func(e *Experiment) { e.cfg.Aggregation = spec }
 }
 
 // WithTarget stops the run early once the evaluation score reaches acc.

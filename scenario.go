@@ -39,6 +39,11 @@ type Scenario struct {
 	// Fleet is the heterogeneity under study: profiles, availability,
 	// selection, deadline.
 	Fleet FleetSpec `json:"fleet"`
+
+	// Aggregation selects the server's aggregation mode (sync when omitted):
+	//   {"mode": "async", "buffer_k": 8, "staleness_alpha": 0.5}
+	// or {"mode": "semisync"} with a fleet deadline as the round clock.
+	Aggregation AggregationSpec `json:"aggregation"`
 }
 
 // ParseScenario decodes a scenario from JSON, rejecting unknown fields.
@@ -135,6 +140,7 @@ func (s *Scenario) Config() Config {
 		cfg.Target = s.Target
 	}
 	cfg.Fleet = s.Fleet
+	cfg.Aggregation = s.Aggregation
 	return cfg
 }
 

@@ -25,6 +25,9 @@ type ExperimentOptions struct {
 	// experiment. The zero value reproduces the paper's homogeneous
 	// full-participation figures.
 	Fleet FleetSpec
+	// Aggregation applies a server aggregation mode to every federated run
+	// of the experiment. The zero value is the paper's synchronous protocol.
+	Aggregation AggregationSpec
 }
 
 // RunExperiment regenerates one table or figure of the paper's evaluation
@@ -37,7 +40,7 @@ func RunExperiment(id string, quick bool, w io.Writer) error {
 // RunExperimentOpts is RunExperiment with full control over experiment
 // execution, including participant-phase parallelism.
 func RunExperimentOpts(id string, opts ExperimentOptions, w io.Writer) error {
-	tab, err := experiments.Run(id, experiments.Options{Quick: opts.Quick, Parallelism: opts.Parallelism, Fleet: opts.Fleet})
+	tab, err := experiments.Run(id, experiments.Options{Quick: opts.Quick, Parallelism: opts.Parallelism, Fleet: opts.Fleet, Agg: opts.Aggregation})
 	if err != nil {
 		return err
 	}

@@ -20,14 +20,23 @@ type RoundStats struct {
 	// UplinkBytes is the update payload participants uploaded this round —
 	// modeled bytes in-process, actual wire bytes over TCP.
 	UplinkBytes float64
+	// DownlinkBytes is the payload the server broadcast to participants this
+	// round — modeled bytes in-process, actual wire bytes over TCP.
+	DownlinkBytes float64
 	// ExpertsTouched is how many distinct experts aggregation updated.
 	ExpertsTouched int
 	// Selected/Completed/Dropped are the round's participation census under
 	// the fleet subsystem (see RoundEvent); zero for transports that do not
-	// model fleets.
+	// model fleets. The TCP transport's synchronous protocol reports its
+	// full peer count as both Selected and Completed.
 	Selected  int
 	Completed int
 	Dropped   int
+	// ModelVersion/Stale/Pending describe event-driven aggregation (see
+	// RoundEvent); zero under synchronous aggregation.
+	ModelVersion int
+	Stale        int
+	Pending      int
 }
 
 // Transport is an execution substrate for the synchronous round protocol.
@@ -94,10 +103,14 @@ func (t *inProcess) Round(ctx context.Context, r int) (RoundStats, error) {
 	return RoundStats{
 		Phases:         ps,
 		UplinkBytes:    obs.UplinkBytes,
+		DownlinkBytes:  obs.DownlinkBytes,
 		ExpertsTouched: obs.ExpertsTouched,
 		Selected:       obs.Selected,
 		Completed:      obs.Completed,
 		Dropped:        obs.Dropped,
+		ModelVersion:   obs.ModelVersion,
+		Stale:          obs.Stale,
+		Pending:        obs.Pending,
 	}, nil
 }
 
@@ -166,6 +179,9 @@ func (t *tcpTransport) Start(ctx context.Context, env *Env, method string) error
 	if env.Cfg.Fleet.Active() {
 		return errors.New("flux: the TCP transport does not model fleets (device profiles, cohort selection, deadlines); run fleet scenarios on the in-process transport")
 	}
+	if env.Cfg.Agg.Active() {
+		return errors.New("flux: the TCP transport's wire protocol is synchronous; run async/semisync aggregation on the in-process transport")
+	}
 	ln, err := net.Listen("tcp", t.addr)
 	if err != nil {
 		return err
@@ -215,7 +231,13 @@ func (t *tcpTransport) Round(ctx context.Context, r int) (RoundStats, error) {
 	if err != nil {
 		return RoundStats{}, err
 	}
-	return RoundStats{UplinkBytes: io.UpBytes, ExpertsTouched: io.Experts}, nil
+	return RoundStats{
+		UplinkBytes:    io.UpBytes,
+		DownlinkBytes:  io.DownBytes,
+		ExpertsTouched: io.Experts,
+		Selected:       io.Selected,
+		Completed:      io.Completed,
+	}, nil
 }
 
 // Close finishes the deployment: broadcast the final model so every
