@@ -170,6 +170,66 @@ func BenchmarkMoEForwardBackward(b *testing.B) {
 	}
 }
 
+// BenchmarkForwardBackward contrasts the allocating training step (ws=none,
+// a fresh workspace per call — the pre-workspace behavior) with the warm
+// per-worker workspace the federated engine actually runs (ws=warm, zero
+// steady-state allocations). CI publishes it into bench/BENCH_micro.json.
+func BenchmarkForwardBackward(b *testing.B) {
+	m := moe.MustNew(moe.SimConfigLLaMATrain(), tensor.Named("bench-fb-ws"))
+	g := tensor.NewRNG(4)
+	seq := make([]int, 48)
+	for i := range seq {
+		seq[i] = g.Intn(m.Cfg.VocabSize)
+	}
+	grads := moe.NewGrads(m, false)
+	b.Run("ws=none", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.ForwardBackwardWS(nil, seq, nil, grads, nil, -1)
+		}
+	})
+	b.Run("ws=warm", func(b *testing.B) {
+		ws := moe.NewWorkspace()
+		m.ForwardBackwardWS(ws, seq, nil, grads, nil, -1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ForwardBackwardWS(ws, seq, nil, grads, nil, -1)
+		}
+	})
+}
+
+// BenchmarkMatMul tracks the tiled kernel at the model's own shapes (small:
+// the 64×24 × 24×24 attention projection of the training config, on the
+// dense single-block fast path) and at a blocked shape large enough to
+// exercise the packing loop.
+func BenchmarkMatMul(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"shape=64x24x24", 64, 24, 24},
+		{"shape=256x192x160", 256, 192, 160},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			g := tensor.NewRNG(5)
+			x := tensor.NewMatrix(sh.m, sh.k)
+			y := tensor.NewMatrix(sh.k, sh.n)
+			x.RandInit(g, 1)
+			y.RandInit(g, 1)
+			out := tensor.NewMatrix(sh.m, sh.n)
+			var ms tensor.MulScratch
+			ms.MatMulInto(out, x, y)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ms.MatMulInto(out, x, y)
+			}
+		})
+	}
+}
+
 func BenchmarkQuantizeModel(b *testing.B) {
 	m := moe.MustNew(moe.SimConfigLLaMATrain(), tensor.Named("bench-quant"))
 	b.ResetTimer()

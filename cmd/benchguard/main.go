@@ -1,0 +1,136 @@
+// Command benchguard compares a fresh benchjson run against the committed
+// bench snapshot and fails when allocation counts regress. It guards the
+// zero-allocation steady state of the round path: ns/op is too noisy on
+// shared CI runners to gate on, but allocs/op is deterministic for a fixed
+// workload, so a >10% jump always means somebody reintroduced a per-token or
+// per-round allocation.
+//
+//	go test -run '^$' -bench '^BenchmarkRound$' -benchmem -benchtime 2x . \
+//	    | benchjson | benchguard -baseline bench/BENCH_round.json
+//
+// Benchmarks present on only one side are reported but never fatal, so
+// adding or retiring a sub-benchmark does not require a lockstep snapshot
+// update.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// result mirrors the benchjson output fields benchguard cares about.
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// regression describes one benchmark whose allocs/op grew beyond the
+// tolerated ratio.
+type regression struct {
+	Name     string
+	Base     float64
+	Fresh    float64
+	Ratio    float64 // fresh/base
+	MaxRatio float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: allocs/op %.0f -> %.0f (%.2fx, limit %.2fx)",
+		r.Name, r.Base, r.Fresh, r.Ratio, r.MaxRatio)
+}
+
+// compare returns the benchmarks in fresh whose allocs/op exceed maxRatio
+// times the baseline value, preserving fresh order. A baseline of zero
+// allocs tolerates zero fresh allocs only: any allocation appearing on a
+// previously allocation-free path is a regression regardless of ratio.
+func compare(base, fresh []result, maxRatio float64) []regression {
+	byName := make(map[string]result, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var regs []regression
+	for _, f := range fresh {
+		b, ok := byName[f.Name]
+		if !ok {
+			continue
+		}
+		if b.AllocsPerOp == 0 {
+			if f.AllocsPerOp > 0 {
+				regs = append(regs, regression{Name: f.Name, Base: 0, Fresh: f.AllocsPerOp, Ratio: 0, MaxRatio: maxRatio})
+			}
+			continue
+		}
+		ratio := f.AllocsPerOp / b.AllocsPerOp
+		if ratio > maxRatio {
+			regs = append(regs, regression{Name: f.Name, Base: b.AllocsPerOp, Fresh: f.AllocsPerOp, Ratio: ratio, MaxRatio: maxRatio})
+		}
+	}
+	return regs
+}
+
+// unmatched returns names present in fresh but absent from base.
+func unmatched(base, fresh []result) []string {
+	byName := make(map[string]bool, len(base))
+	for _, b := range base {
+		byName[b.Name] = true
+	}
+	var missing []string
+	for _, f := range fresh {
+		if !byName[f.Name] {
+			missing = append(missing, f.Name)
+		}
+	}
+	return missing
+}
+
+// decode reads a benchjson array; extra fields (iterations, bytes_per_op,
+// params) are deliberately tolerated so the two tools can evolve separately.
+func decode(r io.Reader) ([]result, error) {
+	var rs []result
+	//fluxvet:allow strictdecode benchjson output carries fields benchguard ignores by design; not a config file
+	return rs, json.NewDecoder(r).Decode(&rs)
+}
+
+func main() {
+	baseline := flag.String("baseline", "bench/BENCH_round.json", "committed snapshot to compare against")
+	maxRatio := flag.Float64("max-ratio", 1.10, "fail when fresh allocs/op exceeds baseline by this factor")
+	flag.Parse()
+
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	base, err := decode(bf)
+	bf.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	fresh, err := decode(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: stdin:", err)
+		os.Exit(1)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	for _, name := range unmatched(base, fresh) {
+		fmt.Printf("benchguard: %s has no baseline entry (new benchmark?), skipping\n", name)
+	}
+	regs := compare(base, fresh, *maxRatio)
+	if len(regs) == 0 {
+		fmt.Printf("benchguard: %d benchmarks within %.0f%% alloc budget of %s\n",
+			len(fresh), (*maxRatio-1)*100, *baseline)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "benchguard: ALLOC REGRESSION", r)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func res(name string, allocs float64) result {
+	return result{Name: name, NsPerOp: 1, AllocsPerOp: allocs}
+}
+
+func TestCompareWithinBudget(t *testing.T) {
+	base := []result{res("a", 100), res("b", 0)}
+	fresh := []result{res("a", 109), res("b", 0)}
+	if regs := compare(base, fresh, 1.10); len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %v", regs)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := []result{res("a", 100), res("b", 50)}
+	fresh := []result{res("a", 111), res("b", 55)}
+	regs := compare(base, fresh, 1.10)
+	if len(regs) != 1 || regs[0].Name != "a" {
+		t.Fatalf("expected exactly benchmark a to regress, got %v", regs)
+	}
+	if got := regs[0].String(); !strings.Contains(got, "100 -> 111") {
+		t.Fatalf("regression message missing counts: %q", got)
+	}
+}
+
+func TestCompareZeroBaselineToleratesNoAllocs(t *testing.T) {
+	base := []result{res("zero", 0)}
+	if regs := compare(base, []result{res("zero", 1)}, 1.10); len(regs) != 1 {
+		t.Fatalf("1 alloc on a zero-alloc baseline must regress, got %v", regs)
+	}
+	if regs := compare(base, []result{res("zero", 0)}, 1.10); len(regs) != 0 {
+		t.Fatalf("0 allocs on a zero-alloc baseline must pass, got %v", regs)
+	}
+}
+
+func TestCompareIgnoresUnmatched(t *testing.T) {
+	base := []result{res("a", 10)}
+	fresh := []result{res("a", 10), res("new", 99999)}
+	if regs := compare(base, fresh, 1.10); len(regs) != 0 {
+		t.Fatalf("benchmarks without a baseline must not be fatal, got %v", regs)
+	}
+	if got := unmatched(base, fresh); len(got) != 1 || got[0] != "new" {
+		t.Fatalf("unmatched = %v, want [new]", got)
+	}
+}
+
+func TestDecodeToleratesBenchjsonExtras(t *testing.T) {
+	const in = `[{"name":"x","iterations":2,"ns_per_op":5,"bytes_per_op":7,"allocs_per_op":3,"params":{"workers":"8"}}]`
+	rs, err := decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Name != "x" || rs[0].AllocsPerOp != 3 {
+		t.Fatalf("decode = %+v", rs)
+	}
+}
+
+// TestImprovementPasses pins that getting faster/leaner never trips the guard.
+func TestImprovementPasses(t *testing.T) {
+	base := []result{res("a", 1000)}
+	if regs := compare(base, []result{res("a", 10)}, 1.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -34,6 +35,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so that deferred profile writers fire before
+	// the process exits; os.Exit directly from main would skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment id (table1, figure1, ... figure20, staleness) or 'all'")
 	scenario := flag.String("scenario", "", "fleet scenario file (JSON); overrides -exp")
 	fleetDist := flag.String("fleet", "", "run -exp experiments under a built-in fleet distribution (uniform, tiered, longtail, flaky)")
@@ -43,30 +50,61 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced rounds/samples; same workload shapes")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "participant worker pool per round (1 = serial); results are bit-identical at any setting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fluxsim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fluxsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// The heap profile is written on the way out so it reflects the whole
+		// run, including failed-experiment exits.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fluxsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fluxsim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println(strings.Join(flux.Experiments(), "\n"))
-		return
+		return 0
 	}
 	if *scenario != "" {
 		// A scenario file fixes its own scale and fleet; refuse flags that
 		// would be silently ignored (-exp alone is documented as overridden).
 		if *quick || *fleetDist != "" || *aggMode != "" || *bufferK != 0 || *stalenessAlpha != 0 {
 			fmt.Fprintln(os.Stderr, "fluxsim: -scenario cannot be combined with -quick, -fleet, or the -agg flags (the scenario file fixes scale, fleet, and aggregation)")
-			os.Exit(1)
+			return 1
 		}
 		if err := runScenario(*scenario, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "fluxsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	var fleetSpec flux.FleetSpec
 	if *fleetDist != "" {
 		if _, err := flux.FleetDistribution(*fleetDist); err != nil {
 			fmt.Fprintln(os.Stderr, "fluxsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fleetSpec.Distribution = *fleetDist
 	}
@@ -75,11 +113,11 @@ func main() {
 		aggSpec = flux.AggregationSpec{Mode: *aggMode, BufferK: *bufferK, StalenessAlpha: *stalenessAlpha}
 		if err := aggSpec.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, "fluxsim:", err)
-			os.Exit(1)
+			return 1
 		}
 	} else if *bufferK != 0 || *stalenessAlpha != 0 {
 		fmt.Fprintln(os.Stderr, "fluxsim: -buffer-k and -staleness-alpha need -agg async or -agg semisync")
-		os.Exit(1)
+		return 1
 	}
 	ids := flux.Experiments()
 	if *exp != "all" {
@@ -98,8 +136,9 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "fluxsim: %d of %d experiments failed\n", failed, len(ids))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runScenario executes one fleet scenario file, streaming per-round

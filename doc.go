@@ -38,6 +38,19 @@
 // allocation-lean. fluxtest's ParallelDeterminism check enforces the
 // contract on built-ins and third-party methods alike.
 //
+// Each Scratch also owns a moe.Workspace — the arena for every transient
+// buffer a forward/backward pass needs (activation caches, attention
+// scores, expert hidden states, softmax scratch). A workspace is created
+// once per worker, grows to the model's shapes on first use, and is reused
+// for every subsequent sequence, so steady-state training performs zero
+// heap allocations; an allocation guard in CI (cmd/benchguard over the
+// committed bench/BENCH_round.json snapshot) keeps it that way. Workspaces
+// are single-goroutine state: never share one across workers, and never
+// hold references into a workspace across a pass that reuses it. All
+// workspace-backed kernels preserve the reference implementations'
+// floating-point accumulation order exactly, so the fast path is
+// bit-identical to the naive one — see README "Performance".
+//
 // Heterogeneous fleets are a first-class axis. A FleetSpec (WithFleet,
 // WithFleetDistribution, WithSelector, WithDeadline) gives each participant
 // a device profile — compute and uplink/downlink multipliers plus per-round

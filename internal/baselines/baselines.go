@@ -58,12 +58,13 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		dev := env.Devices[i]
 		local := ws.LocalClone(env.Global)
 		grads := ws.Grads(local)
+		mws := ws.Workspace()
 		batch := env.Batch(i, round) // hoisted: identical for every local iteration
 		tokens, steps := 0, 0
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, s := range batch {
 				seq, mask := s.FullSequence()
-				local.ForwardBackward(seq, mask, grads, nil, -1)
+				local.ForwardBackwardWS(mws, seq, mask, grads, nil, -1)
 				tokens += len(seq)
 				steps++
 			}
@@ -183,12 +184,13 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		local := ws.LocalClone(env.Global)
 		moe.Quantize(local, bits)
 		grads := ws.Grads(local)
+		mws := ws.Workspace()
 		batch := env.Batch(i, round)
 		tokens := 0
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, s := range batch {
 				seq, mask := s.FullSequence()
-				local.ForwardBackward(seq, mask, grads, nil, -1)
+				local.ForwardBackwardWS(mws, seq, mask, grads, nil, -1)
 				tokens += len(seq)
 			}
 			local.ApplySGD(grads, env.Cfg.LR/float64(len(batch)))
@@ -247,9 +249,14 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	results := make([]baselineResult, len(cohort))
 	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
+		mws := ws.Workspace()
 		batch := env.Batch(i, round)
-		// Fresh profiling each round (FMES has no stale pipeline).
-		res := prof.Run(env.Global, batch)
+		// Fresh profiling each round (FMES has no stale pipeline). The
+		// quantized profiling model is built in the worker scratch
+		// (clone-into + in-place round-trip ≡ moe.QuantizedClone).
+		qm := ws.LocalClone(env.Global)
+		moe.Quantize(qm, prof.Bits)
+		res := prof.RunOn(qm, cfg, batch, mws)
 		profSec := res.Seconds(dev, cfg)
 
 		_, tune := env.Budgets(i)
@@ -264,7 +271,7 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, smp := range batch {
 				seq, mask := smp.FullSequence()
-				local.ForwardBackward(seq, mask, grads, nil, -1)
+				local.ForwardBackwardWS(mws, seq, mask, grads, nil, -1)
 				tokens += len(seq)
 			}
 			local.ApplySGD(grads, env.Cfg.LR/float64(len(batch)))

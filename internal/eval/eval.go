@@ -16,23 +16,28 @@ func Evaluate(m *moe.Model, p data.Profile, test []*data.Sample) float64 {
 	if len(test) == 0 {
 		return 0
 	}
+	ws := moe.NewWorkspace() // one forward workspace for the whole sweep
 	var sum float64
 	for _, s := range test {
-		sum += ScoreSample(m, p, s)
+		sum += scoreSample(m, ws, p, s)
 	}
 	return sum / float64(len(test))
 }
 
 // ScoreSample scores a single sample.
 func ScoreSample(m *moe.Model, p data.Profile, s *data.Sample) float64 {
+	return scoreSample(m, nil, p, s)
+}
+
+func scoreSample(m *moe.Model, ws *moe.Workspace, p data.Profile, s *data.Sample) float64 {
 	switch p.Task {
 	case data.Generation:
-		gen := m.Generate(s.Prompt, len(s.Completion))
+		gen := m.GenerateWS(ws, s.Prompt, len(s.Completion))
 		return metrics.RougeL(gen, s.Completion)
 	case data.MultipleChoice:
 		scores := make([]float64, len(s.Options))
 		for i, opt := range s.Options {
-			scores[i] = m.ScoreContinuation(s.Prompt, opt)
+			scores[i] = m.ScoreContinuationWS(ws, s.Prompt, opt)
 		}
 		if tensor.ArgMax(scores) == s.Answer {
 			return 1

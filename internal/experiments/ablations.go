@@ -274,7 +274,7 @@ func Figure18(o Options) *Table {
 			}
 			key := mostActiveExpert(env.Global, seqs)
 			truth := assign.TrueExpertGradient(env.Global, key, seqs, masks)
-			est := assign.EstimateGradientSPSA(env.Global, key, seqs, masks, probes, 0.01,
+			est := assign.EstimateGradientSPSA(env.Global, nil, key, seqs, masks, probes, 0.01,
 				tensor.Named(fmt.Sprintf("fig18/%s/%d", p.Name, r)))
 			d := tensor.CosineDist(truth, est.Direction)
 			series += f2(d) + " "

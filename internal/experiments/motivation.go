@@ -183,9 +183,12 @@ func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	totals := make([]float64, len(cohort))
 	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
+		mws := ws.Workspace()
 		prof := profile.Profiler{Bits: quant.Bits4, TrackSamples: true}
 		batch := env.Batch(i, round)
-		res := prof.Run(env.Global, batch)
+		qm := ws.LocalClone(env.Global)
+		moe.Quantize(qm, prof.Bits)
+		res := prof.RunOn(qm, cfg, batch, mws)
 		_, tune := env.Budgets(i)
 		tuning := baselines.TopByFrequency(res.Stats, cfg, tune)
 		opt := merge.DefaultOptions()
@@ -203,7 +206,7 @@ func (keepMergedFMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, s := range batch {
 				seq, mask := s.FullSequence()
-				local.ForwardBackward(seq, mask, grads, nil, -1)
+				local.ForwardBackwardWS(mws, seq, mask, grads, nil, -1)
 				tokens += len(seq)
 			}
 			local.ApplySGD(grads, env.Cfg.LR/float64(len(batch)))

@@ -38,8 +38,20 @@ import (
 type Scratch struct {
 	model *moe.Model
 	grads *moe.Grads
+	ws    *moe.Workspace
 	arena []float64
 	off   int
+}
+
+// Workspace returns the scratch's persistent forward/backward workspace.
+// Participant bodies pass it to the model's *WS methods so steady-state
+// training passes stop allocating; single ownership per worker goroutine is
+// guaranteed by the pool structure.
+func (s *Scratch) Workspace() *moe.Workspace {
+	if s.ws == nil {
+		s.ws = moe.NewWorkspace()
+	}
+	return s.ws
 }
 
 // LocalClone deep-copies src into the scratch's persistent model buffer and

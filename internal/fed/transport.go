@@ -408,11 +408,12 @@ func localTrain(model *moe.Model, cfg ClientConfig, round int) {
 		lr = 1.0
 	}
 	grads := moe.NewGrads(model, false)
+	ws := moe.NewWorkspace()
 	for it := 0; it < iters; it++ {
 		for k := 0; k < batch; k++ {
 			s := cfg.Shard[(round*batch+k)%len(cfg.Shard)]
 			seq, mask := s.FullSequence()
-			model.ForwardBackward(seq, mask, grads, nil, -1)
+			model.ForwardBackwardWS(ws, seq, mask, grads, nil, -1)
 		}
 		model.ApplySGD(grads, lr/float64(batch))
 	}

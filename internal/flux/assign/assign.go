@@ -218,30 +218,175 @@ type SPSAResult struct {
 // is approximated by the loss difference. E[(∇·u)u]·dim recovers ∇.
 //
 // seqs/masks are the token sequences to measure loss on. The model is
-// restored exactly afterwards.
-func EstimateGradientSPSA(m *moe.Model, key Key, seqs [][]int, masks [][]bool, probes int, sigma float64, g *tensor.RNG) SPSAResult {
+// restored exactly afterwards. ws provides forward-pass buffers (nil
+// allocates a private one).
+//
+// Since the perturbation touches only one expert in key.Layer, layers below
+// it produce bit-identical activations in every evaluation; each sequence's
+// forward prefix is therefore computed once and only the suffix from
+// key.Layer is re-run per probe. Results are bit-identical to perturbed full
+// forward passes.
+func EstimateGradientSPSA(m *moe.Model, ws *moe.Workspace, key Key, seqs [][]int, masks [][]bool, probes int, sigma float64, g *tensor.RNG) SPSAResult {
+	return estimateSPSA(m, ws, key, seqs, masks, probes, sigma, false, 0, g)
+}
+
+// EstimateGradientSPSAWithBase is EstimateGradientSPSA with the unperturbed
+// baseline loss (as computed by MeanLoss over the same seqs/masks) supplied
+// by the caller. The exploration sweep computes the baseline once per
+// participant and shares it across explore experts — the probe cost model
+// (one baseline pass plus one pass per probe) already bills it that way, and
+// the value is identical across experts because the model is restored
+// exactly after every perturbation.
+func EstimateGradientSPSAWithBase(m *moe.Model, ws *moe.Workspace, key Key, seqs [][]int, masks [][]bool, probes int, sigma, base float64, g *tensor.RNG) SPSAResult {
+	return estimateSPSA(m, ws, key, seqs, masks, probes, sigma, true, base, g)
+}
+
+// MeanLoss returns the mean masked loss of m over seqs, the SPSA baseline.
+// The accumulation order (per-sequence losses summed in order, divided once)
+// matches the internal baseline of EstimateGradientSPSA, so the value can be
+// shared across per-expert probe calls bit-identically.
+func MeanLoss(m *moe.Model, ws *moe.Workspace, seqs [][]int, masks [][]bool) float64 {
+	if ws == nil {
+		ws = moe.NewWorkspace()
+	}
+	var s float64
+	for i, seq := range seqs {
+		var mask []bool
+		if masks != nil {
+			mask = masks[i]
+		}
+		s += m.LossWS(ws, seq, mask)
+	}
+	return s / float64(len(seqs))
+}
+
+// ProbeExploreSPSA runs EstimateGradientSPSA for several experts of one
+// model over one probe batch, sharing forward state across them: a single
+// full pass per sequence (which doubles as the baseline) populates the
+// workspace layer caches, and experts are then probed in descending layer
+// order, so each perturbed suffix re-run clobbers only activations at or
+// above its own layer and every remaining expert's prefix stays cached.
+// Results are bit-identical to independent per-expert calls and are returned
+// aligned with keys; split supplies each expert's RNG (per-key streams are
+// independent, so probe order does not affect the draws).
+func ProbeExploreSPSA(m *moe.Model, ws *moe.Workspace, keys []Key, seqs [][]int, masks [][]bool, probes int, sigma float64, split func(Key) *tensor.RNG) []SPSAResult {
+	if ws == nil {
+		ws = moe.NewWorkspace()
+	}
+	n := len(keys)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]].Layer > keys[order[b]].Layer })
+
+	experts := make([]*moe.Expert, n)
+	flats := make([][]float64, n)
+	us := make([][]float64, n)   // per key: probes×dim unit directions
+	live := make([][]bool, n)    // per key: which probes drew a usable direction
+	sums := make([][]float64, n) // per key: per-probe loss sums over seqs
+	var dimMax int
+	for i, key := range keys {
+		experts[i] = m.ExpertAt(key.Layer, key.Expert)
+		flats[i] = experts[i].FlattenTo(nil)
+		dim := len(flats[i])
+		if dim > dimMax {
+			dimMax = dim
+		}
+		g := split(key)
+		us[i] = make([]float64, probes*dim)
+		live[i] = make([]bool, probes)
+		sums[i] = make([]float64, probes)
+		for p := 0; p < probes; p++ {
+			u := us[i][p*dim : (p+1)*dim]
+			for j := range u {
+				u[j] = g.Norm()
+			}
+			nu := tensor.Norm2(u)
+			if nu == 0 {
+				continue
+			}
+			live[i][p] = true
+			for j := range u {
+				u[j] /= nu
+			}
+		}
+	}
+
+	pert := make([]float64, dimMax)
+	var baseSum float64
+	for si, seq := range seqs {
+		var mask []bool
+		if masks != nil {
+			mask = masks[si]
+		}
+		baseSum += m.LossWS(ws, seq, mask) // populates every layer cache
+		for _, i := range order {
+			key := keys[i]
+			x := m.LayerInputWS(ws, key.Layer)
+			ex, flat := experts[i], flats[i]
+			dim := len(flat)
+			for p := 0; p < probes; p++ {
+				if !live[i][p] {
+					continue
+				}
+				u := us[i][p*dim : (p+1)*dim]
+				for j := range flat {
+					pert[j] = flat[j] + sigma*u[j]
+				}
+				ex.LoadFlat(pert[:dim])
+				sums[i][p] += m.LossSuffixWS(ws, x, key.Layer, seq, mask)
+				ex.LoadFlat(flat)
+			}
+		}
+	}
+	base := baseSum / float64(len(seqs))
+
+	results := make([]SPSAResult, n)
+	for i := range keys {
+		dim := len(flats[i])
+		dir := make([]float64, dim)
+		var sqSum float64
+		for p := 0; p < probes; p++ {
+			if !live[i][p] {
+				continue
+			}
+			u := us[i][p*dim : (p+1)*dim]
+			delta := (sums[i][p]/float64(len(seqs)) - base) / sigma
+			sqSum += delta * delta
+			for j := range dir {
+				dir[j] += delta * u[j]
+			}
+		}
+		results[i] = SPSAResult{Probes: probes, Direction: dir}
+		if probes > 0 {
+			results[i].Norm = math.Sqrt(sqSum / float64(probes) * float64(dim))
+			scale := float64(dim) / float64(probes)
+			for j := range dir {
+				dir[j] *= scale
+			}
+		}
+	}
+	return results
+}
+
+func estimateSPSA(m *moe.Model, ws *moe.Workspace, key Key, seqs [][]int, masks [][]bool, probes int, sigma float64, haveBase bool, base float64, g *tensor.RNG) SPSAResult {
+	if ws == nil {
+		ws = moe.NewWorkspace()
+	}
 	ex := m.ExpertAt(key.Layer, key.Expert)
 	flat := ex.FlattenTo(nil)
 	dim := len(flat)
 
-	lossAt := func() float64 {
-		var s float64
-		for i, seq := range seqs {
-			var mask []bool
-			if masks != nil {
-				mask = masks[i]
-			}
-			s += m.Loss(seq, mask)
-		}
-		return s / float64(len(seqs))
-	}
-	base := lossAt()
-
-	dir := make([]float64, dim)
-	var sqSum float64
-	u := make([]float64, dim)
-	pert := make([]float64, dim)
+	// Draw every probe direction up front. The RNG stream is unchanged from
+	// drawing them between evaluations (loss passes consume no randomness),
+	// and it lets one forward prefix per sequence serve the baseline and all
+	// probes. Zero-norm draws stay in the stream but are skipped, exactly as
+	// before.
+	us := make([]float64, probes*dim)
+	live := make([]bool, probes)
 	for p := 0; p < probes; p++ {
+		u := us[p*dim : (p+1)*dim]
 		for i := range u {
 			u[i] = g.Norm()
 		}
@@ -249,13 +394,49 @@ func EstimateGradientSPSA(m *moe.Model, key Key, seqs [][]int, masks [][]bool, p
 		if n == 0 {
 			continue
 		}
+		live[p] = true
 		for i := range u {
 			u[i] /= n
-			pert[i] = flat[i] + sigma*u[i]
 		}
-		ex.LoadFlat(pert)
-		delta := (lossAt() - base) / sigma // ≈ ∇·u
-		ex.LoadFlat(flat)
+	}
+
+	pert := make([]float64, dim)
+	lossSum := make([]float64, probes)
+	var baseSum float64
+	for si, seq := range seqs {
+		var mask []bool
+		if masks != nil {
+			mask = masks[si]
+		}
+		x := m.ForwardPrefixWS(ws, seq, key.Layer)
+		if !haveBase {
+			baseSum += m.LossSuffixWS(ws, x, key.Layer, seq, mask)
+		}
+		for p := 0; p < probes; p++ {
+			if !live[p] {
+				continue
+			}
+			u := us[p*dim : (p+1)*dim]
+			for i := range pert {
+				pert[i] = flat[i] + sigma*u[i]
+			}
+			ex.LoadFlat(pert)
+			lossSum[p] += m.LossSuffixWS(ws, x, key.Layer, seq, mask)
+			ex.LoadFlat(flat)
+		}
+	}
+	if !haveBase {
+		base = baseSum / float64(len(seqs))
+	}
+
+	dir := make([]float64, dim)
+	var sqSum float64
+	for p := 0; p < probes; p++ {
+		if !live[p] {
+			continue
+		}
+		u := us[p*dim : (p+1)*dim]
+		delta := (lossSum[p]/float64(len(seqs)) - base) / sigma // ≈ ∇·u
 		sqSum += delta * delta
 		for i := range dir {
 			dir[i] += delta * u[i]
@@ -278,12 +459,13 @@ func EstimateGradientSPSA(m *moe.Model, key Key, seqs [][]int, masks [][]bool, p
 // ground truth by Figure 18.
 func TrueExpertGradient(m *moe.Model, key Key, seqs [][]int, masks [][]bool) []float64 {
 	grads := moe.NewGrads(m, false)
+	ws := moe.NewWorkspace()
 	for i, seq := range seqs {
 		var mask []bool
 		if masks != nil {
 			mask = masks[i]
 		}
-		m.ForwardBackward(seq, mask, grads, nil, -1)
+		m.ForwardBackwardWS(ws, seq, mask, grads, nil, -1)
 	}
 	layer := m.Layers[key.Layer]
 	pos := layer.Routing[key.Expert]

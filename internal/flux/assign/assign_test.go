@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -171,7 +172,7 @@ func TestRefreshFromGrads(t *testing.T) {
 func TestSPSARestoresModel(t *testing.T) {
 	m, seqs, masks := fixture(t)
 	before := m.ExpertAt(0, 0).FlattenTo(nil)
-	EstimateGradientSPSA(m, Key{0, 0}, seqs[:2], masks[:2], 3, 0.01, tensor.NewRNG(5))
+	EstimateGradientSPSA(m, nil, Key{0, 0}, seqs[:2], masks[:2], 3, 0.01, tensor.NewRNG(5))
 	after := m.ExpertAt(0, 0).FlattenTo(nil)
 	for i := range before {
 		if before[i] != after[i] {
@@ -202,7 +203,7 @@ func TestSPSAApproximatesTrueGradient(t *testing.T) {
 		}
 	}
 	truth := TrueExpertGradient(m, key, seqs, masks)
-	est := EstimateGradientSPSA(m, key, seqs, masks, 24, 0.01, tensor.NewRNG(6))
+	est := EstimateGradientSPSA(m, nil, key, seqs, masks, 24, 0.01, tensor.NewRNG(6))
 	d := tensor.CosineDist(truth, est.Direction)
 	if math.IsNaN(d) || d > 0.9 {
 		t.Fatalf("SPSA direction distance %v; not better than random", d)
@@ -212,9 +213,119 @@ func TestSPSAApproximatesTrueGradient(t *testing.T) {
 	}
 }
 
+// referenceSPSA is the straightforward implementation — a full forward pass
+// for every loss evaluation, directions drawn between evaluations — that the
+// prefix-cached production path must match bit for bit.
+func referenceSPSA(m *moe.Model, key Key, seqs [][]int, masks [][]bool, probes int, sigma float64, g *tensor.RNG) SPSAResult {
+	ex := m.ExpertAt(key.Layer, key.Expert)
+	flat := ex.FlattenTo(nil)
+	dim := len(flat)
+	lossAt := func() float64 {
+		var s float64
+		for i, seq := range seqs {
+			s += m.Loss(seq, masks[i])
+		}
+		return s / float64(len(seqs))
+	}
+	base := lossAt()
+	dir := make([]float64, dim)
+	var sqSum float64
+	u := make([]float64, dim)
+	pert := make([]float64, dim)
+	for p := 0; p < probes; p++ {
+		for i := range u {
+			u[i] = g.Norm()
+		}
+		n := tensor.Norm2(u)
+		if n == 0 {
+			continue
+		}
+		for i := range u {
+			u[i] /= n
+			pert[i] = flat[i] + sigma*u[i]
+		}
+		ex.LoadFlat(pert)
+		delta := (lossAt() - base) / sigma
+		ex.LoadFlat(flat)
+		sqSum += delta * delta
+		for i := range dir {
+			dir[i] += delta * u[i]
+		}
+	}
+	res := SPSAResult{Probes: probes, Direction: dir}
+	if probes > 0 {
+		res.Norm = math.Sqrt(sqSum / float64(probes) * float64(dim))
+		scale := float64(dim) / float64(probes)
+		for i := range dir {
+			dir[i] *= scale
+		}
+	}
+	return res
+}
+
+// TestSPSAPrefixCacheBitIdentity pins the prefix-cached SPSA (shared forward
+// prefix below the probed layer, pre-drawn directions, optionally a shared
+// baseline) bit-identical to the reference full-forward implementation, for
+// experts at every layer depth.
+func TestSPSAPrefixCacheBitIdentity(t *testing.T) {
+	m, seqs, masks := fixture(t)
+	ws := moe.NewWorkspace()
+	base := MeanLoss(m, ws, seqs[:3], masks[:3])
+	for l := 0; l < len(m.Layers); l++ {
+		key := Key{l, 1}
+		want := referenceSPSA(m, key, seqs[:3], masks[:3], 4, 0.02, tensor.NewRNG(31))
+		got := EstimateGradientSPSA(m, ws, key, seqs[:3], masks[:3], 4, 0.02, tensor.NewRNG(31))
+		if got.Norm != want.Norm {
+			t.Fatalf("layer %d: norm %v != reference %v", l, got.Norm, want.Norm)
+		}
+		for i, w := range want.Direction {
+			if got.Direction[i] != w {
+				t.Fatalf("layer %d: direction[%d] %v != reference %v", l, i, got.Direction[i], w)
+			}
+		}
+		withBase := EstimateGradientSPSAWithBase(m, ws, key, seqs[:3], masks[:3], 4, 0.02, base, tensor.NewRNG(31))
+		if withBase.Norm != want.Norm {
+			t.Fatalf("layer %d: shared-base norm %v != reference %v", l, withBase.Norm, want.Norm)
+		}
+		for i, w := range want.Direction {
+			if withBase.Direction[i] != w {
+				t.Fatalf("layer %d: shared-base direction[%d] differs", l, i)
+			}
+		}
+	}
+}
+
+// TestProbeExploreSPSABatchedBitIdentity pins the batched multi-expert sweep
+// (one baseline pass, descending-layer suffix probes) against independent
+// per-expert estimates, including two experts in the same layer and keys
+// passed in ascending-layer order.
+func TestProbeExploreSPSABatchedBitIdentity(t *testing.T) {
+	m, seqs, masks := fixture(t)
+	keys := []Key{{0, 2}, {1, 0}, {1, 3}, {2, 1}}
+	split := func(k Key) *tensor.RNG {
+		return tensor.Named("probe-test").Split(fmt.Sprintf("e%d.%d", k.Layer, k.Expert))
+	}
+	got := ProbeExploreSPSA(m, moe.NewWorkspace(), keys, seqs[:3], masks[:3], 3, 0.02, split)
+	after := m.ExpertAt(1, 0).FlattenTo(nil)
+	for i, key := range keys {
+		want := EstimateGradientSPSA(m, nil, key, seqs[:3], masks[:3], 3, 0.02, split(key))
+		if got[i].Norm != want.Norm {
+			t.Fatalf("key %v: batched norm %v != independent %v", key, got[i].Norm, want.Norm)
+		}
+		for j, w := range want.Direction {
+			if got[i].Direction[j] != w {
+				t.Fatalf("key %v: direction[%d] differs", key, j)
+			}
+		}
+	}
+	if now := m.ExpertAt(1, 0).FlattenTo(nil); len(now) != len(after) {
+		t.Fatal("expert shape changed")
+	}
+}
+
 func TestSPSAZeroProbes(t *testing.T) {
 	m, seqs, masks := fixture(t)
-	res := EstimateGradientSPSA(m, Key{0, 0}, seqs[:1], masks[:1], 0, 0.01, tensor.NewRNG(7))
+	res := EstimateGradientSPSA(m, nil, Key{0, 0}, seqs[:1], masks[:1], 0, 0.01, tensor.NewRNG(7))
 	if res.Norm != 0 {
 		t.Fatal("zero probes should give zero norm")
 	}

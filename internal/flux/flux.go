@@ -121,11 +121,17 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
 		rng := rngs[slot]
+		mws := ws.Workspace()
 		prof := profile.Profiler{Bits: r.Opts.ProfileBits, TrackSamples: true}
 
 		// --- Profiling (§4): quantized, stale-pipelined. ---
+		// The quantized profiling model is built in the worker scratch
+		// (clone-into + in-place round-trip ≡ moe.QuantizedClone, bit for bit)
+		// so steady-state profiling allocates no model.
 		shardSeqs := env.Batch(i, round)
-		res := prof.Run(env.Global, shardSeqs)
+		qm := ws.LocalClone(env.Global)
+		moe.Quantize(qm, r.Opts.ProfileBits)
+		res := prof.RunOn(qm, env.Global.Cfg, shardSeqs, mws)
 		profSec := res.Seconds(dev, cfg)
 		sched := r.schedulers[i]
 		sched.Complete(res)
@@ -164,7 +170,7 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		for it := 0; it < env.Cfg.LocalIters; it++ {
 			for _, s := range batch {
 				seq, mask := s.FullSequence()
-				local.ForwardBackward(seq, mask, grads, nil, -1)
+				local.ForwardBackwardWS(mws, seq, mask, grads, nil, -1)
 				tokens += len(seq)
 			}
 			r.refreshUtilities(i, local, grads, a)
@@ -174,7 +180,7 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, tuneFrac))
 
 		// --- Forward-only gradient probes for exploration experts (§6.2).---
-		spsaSec := r.probeExploration(i, local, batch, a, dev, cfg, rng.Split("spsa"))
+		spsaSec := r.probeExploration(i, local, mws, batch, a, dev, cfg, rng.Split("spsa"))
 
 		// --- Upload tuning expert parameters. ---
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
@@ -327,7 +333,7 @@ func (r *Runner) refreshUtilities(i int, local *moe.Model, grads *moe.Grads, a a
 
 // probeExploration runs SPSA gradient probes for exploration experts and
 // updates their utilities, returning the simulated probe cost.
-func (r *Runner) probeExploration(i int, local *moe.Model, batch []*data.Sample, a assign.Assignment, dev simtime.Device, cfg moe.Config, rng *tensor.RNG) float64 {
+func (r *Runner) probeExploration(i int, local *moe.Model, mws *moe.Workspace, batch []*data.Sample, a assign.Assignment, dev simtime.Device, cfg moe.Config, rng *tensor.RNG) float64 {
 	if len(a.Explore) == 0 || r.Opts.SPSAProbes == 0 || len(batch) == 0 {
 		return 0
 	}
@@ -344,11 +350,17 @@ func (r *Runner) probeExploration(i int, local *moe.Model, batch []*data.Sample,
 		masks = append(masks, mask)
 		tokens += len(seq)
 	}
-	for _, k := range a.Explore {
-		res := assign.EstimateGradientSPSA(local, assign.Key(k), seqs, masks, r.Opts.SPSAProbes, r.Opts.SPSASigma, rng.Split(fmt.Sprintf("e%d.%d", k.Layer, k.Expert)))
+	// All explore experts are probed off one shared baseline pass per
+	// sequence (the model is restored exactly after each probe, so the
+	// unperturbed activations never change); the simulated probe cost below
+	// already bills a single shared baseline.
+	results := assign.ProbeExploreSPSA(local, mws, a.Explore, seqs, masks, r.Opts.SPSAProbes, r.Opts.SPSASigma, func(k assign.Key) *tensor.RNG {
+		return rng.Split(fmt.Sprintf("e%d.%d", k.Layer, k.Expert))
+	})
+	for j, k := range a.Explore {
 		// |D_e| for exploration experts comes from profiling counts; use the
 		// per-token norm estimate directly with the probe token count.
-		r.tables[i].Set(assign.Key(k), assign.Utility(float64(tokens), res.Norm/float64(maxi(1, tokens))))
+		r.tables[i].Set(k, assign.Utility(float64(tokens), results[j].Norm/float64(maxi(1, tokens))))
 	}
 	// Each probe costs one forward pass over the probe sequences, plus one
 	// baseline pass shared across experts.

@@ -37,21 +37,30 @@ type Result struct {
 // given samples. The returned stats are indexed by original expert id.
 func (p Profiler) Run(model *moe.Model, samples []*data.Sample) *Result {
 	qm := moe.QuantizedClone(model, p.Bits)
-	return p.runOn(qm, model.Cfg, samples)
+	return p.RunOn(qm, model.Cfg, samples, nil)
 }
 
 // RunFull measures ground-truth activation statistics with the unquantized
 // model. Experiments use it as the reference for estimation error.
 func (p Profiler) RunFull(model *moe.Model, samples []*data.Sample) *Result {
-	return p.runOn(model, model.Cfg, samples)
+	return p.RunOn(model, model.Cfg, samples, nil)
 }
 
-func (p Profiler) runOn(m *moe.Model, cfg moe.Config, samples []*data.Sample) *Result {
+// RunOn measures activation statistics over samples with an already-prepared
+// profiling model m (cfg describes the pre-merge expert layout, which sizes
+// the stats), drawing forward-pass buffers from ws (nil allocates a private
+// one). Participant bodies pass their worker scratch's clone — quantized in
+// place — plus its workspace, so steady-state profiling allocates neither a
+// model nor activations.
+func (p Profiler) RunOn(m *moe.Model, cfg moe.Config, samples []*data.Sample, ws *moe.Workspace) *Result {
+	if ws == nil {
+		ws = moe.NewWorkspace()
+	}
 	stats := moe.NewActivationStats(cfg, p.TrackSamples)
 	tokens := 0
 	for _, s := range samples {
 		seq, _ := s.FullSequence()
-		m.Forward(seq, stats, s.ID)
+		m.ForwardWS(ws, seq, stats, s.ID)
 		tokens += len(seq)
 	}
 	return &Result{Stats: stats, Tokens: tokens, Bits: p.Bits}

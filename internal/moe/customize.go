@@ -175,7 +175,7 @@ func Customize(global *Model, specs []LayerSpec) (*Model, error) {
 // through b-bit quantization in place, so a scratch-held clone can be
 // re-quantized every round without allocating a whole model.
 func Quantize(m *Model, b quant.Bits) {
-	rt := func(mat *tensor.Matrix) { mat.CopyFrom(quant.RoundTrip(mat, b)) }
+	rt := func(mat *tensor.Matrix) { quant.RoundTripInPlace(mat, b) }
 	rt(m.Embed)
 	rt(m.Head)
 	for _, layer := range m.Layers {

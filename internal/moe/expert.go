@@ -86,18 +86,18 @@ func (e *Expert) LoadFlat(src []float64) {
 func (e *Expert) Forward(x, hidden, out []float64) {
 	ffn := len(e.B1)
 	dim := len(e.B2)
-	// hidden = ReLU(x·W1 + b1)
-	for j := 0; j < ffn; j++ {
-		hidden[j] = e.B1[j]
-	}
-	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
-		row := e.W1.Row(i)
-		for j, w := range row {
-			hidden[j] += xv * w
-		}
+	// hidden = ReLU(x·W1 + b1). The input is a layer-normed activation and
+	// essentially never zero, so the W1 sweep is unconditionally dense (the
+	// accumulator can't be -0.0, so adding a ±0.0 product is bit-neutral).
+	// Rows are addressed by running offset into the flat weight data; the
+	// reslices pin lengths so the inner loops run without bounds checks.
+	hidden = hidden[:ffn]
+	copy(hidden, e.B1)
+	w1 := e.W1.Data
+	off := 0
+	for _, xv := range x {
+		tensor.Axpy(xv, w1[off:off+ffn], hidden)
+		off += ffn
 	}
 	for j := range hidden {
 		if hidden[j] < 0 {
@@ -105,16 +105,17 @@ func (e *Expert) Forward(x, hidden, out []float64) {
 		}
 	}
 	// out = hidden·W2 + b2
+	out = out[:dim]
 	copy(out, e.B2)
-	for j := 0; j < ffn; j++ {
-		h := hidden[j]
+	w2 := e.W2.Data
+	off = 0
+	for _, h := range hidden {
+		o := off
+		off += dim
 		if h == 0 {
 			continue
 		}
-		row := e.W2.Row(j)
-		for k := 0; k < dim; k++ {
-			out[k] += h * row[k]
-		}
+		tensor.Axpy(h, w2[o:o+dim], out)
 	}
 }
 
@@ -169,20 +170,30 @@ func (g *ExpertGrad) Norm() float64 {
 // Backward accumulates parameter gradients for one token given the input x,
 // the cached ReLU output hidden, and the upstream gradient dy (length Dim).
 // It writes the gradient with respect to x into dx (length Dim, accumulated).
-func (e *Expert) Backward(g *ExpertGrad, x, hidden, dy, dx []float64) {
+// dh is caller-provided scratch of length FFNDim; its contents on entry are
+// irrelevant (every element is written or explicitly zeroed).
+func (e *Expert) Backward(g *ExpertGrad, x, hidden, dy, dx, dh []float64) {
 	ffn := len(e.B1)
+	dim := len(e.B2)
 	// dB2 += dy; dW2 += hiddenᵀ·dy
+	dy = dy[:dim]
+	b2 := g.B2[:dim]
 	for k, d := range dy {
-		g.B2[k] += d
+		b2[k] += d
 	}
-	dh := make([]float64, ffn)
-	for j := 0; j < ffn; j++ {
-		h := hidden[j]
+	dh = dh[:ffn]
+	w2 := e.W2.Data
+	gw2all := g.W2.Data
+	off := 0
+	for j, h := range hidden[:ffn] {
+		o := off
+		off += dim
 		if h == 0 {
+			dh[j] = 0
 			continue // ReLU gate closed: no gradient through this unit
 		}
-		w2row := e.W2.Row(j)
-		gw2 := g.W2.Row(j)
+		w2row := w2[o : o+dim]
+		gw2 := gw2all[o : o+dim]
 		var s float64
 		for k, d := range dy {
 			gw2[k] += h * d
@@ -191,12 +202,18 @@ func (e *Expert) Backward(g *ExpertGrad, x, hidden, dy, dx []float64) {
 		dh[j] = s
 	}
 	// dB1 += dh; dW1 += xᵀ·dh; dx += dh·W1ᵀ
+	b1 := g.B1[:ffn]
 	for j, d := range dh {
-		g.B1[j] += d
+		b1[j] += d
 	}
+	w1 := e.W1.Data
+	gw1all := g.W1.Data
+	dx = dx[:len(x)]
+	off = 0
 	for i, xv := range x {
-		w1row := e.W1.Row(i)
-		gw1 := g.W1.Row(i)
+		w1row := w1[off : off+ffn]
+		gw1 := gw1all[off : off+ffn]
+		off += ffn
 		var s float64
 		for j, d := range dh {
 			if d == 0 {

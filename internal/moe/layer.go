@@ -69,13 +69,14 @@ func (l *Layer) Clone() *Layer {
 }
 
 // layerCache holds the forward activations needed by backward for one
-// sequence through one layer.
+// sequence through one layer. Caches live in a Workspace and are grown in
+// place, so a warm cache serves every sequence without allocating.
 type layerCache struct {
-	xIn   *tensor.Matrix // layer input (T × D)
-	xNorm *tensor.Matrix // LN(xIn)
+	xNorm *tensor.Matrix // LN(layer input)
 	attnP *tensor.Matrix // attention probabilities (T × T), treated constant in backward
 	x1    *tensor.Matrix // after attention residual
 	xMid  *tensor.Matrix // LN(x1), MoE input
+	out   *tensor.Matrix // layer output (next layer's input; kept alive per layer)
 	// Per token routing decisions and per-slot expert state.
 	routedExperts [][]int       // [t][slot] expert index (into Experts)
 	routedWeights [][]float64   // [t][slot] normalized gate weight
@@ -84,12 +85,14 @@ type layerCache struct {
 	invStd2       []float64
 }
 
-// routeToken computes the top-k routing for gate logits over original expert
-// indices, collapsing duplicates introduced by Routing and renormalizing the
-// retained gate probabilities. It returns parallel slices of expert indices
-// (into Experts) and weights, plus the winning original indices for stats.
-func (l *Layer) routeToken(probs []float64) (experts []int, weights []float64, orig []int) {
-	top := tensor.TopK(probs, l.TopK)
+// routeToken computes the top-k routing for gate probabilities over original
+// expert indices, collapsing duplicates introduced by Routing and
+// renormalizing the retained gate probabilities. Results go into the
+// workspace-backed experts/weights/orig slices (appended from length zero),
+// which are returned for the caller to store.
+func (l *Layer) routeToken(probs []float64, ws *Workspace, experts []int, weights []float64, orig []int) ([]int, []float64, []int) {
+	ws.topkIdx, ws.topkUsed = tensor.TopKInto(ws.topkIdx, ws.topkUsed, probs, l.TopK)
+	top := ws.topkIdx
 	var sum float64
 	for _, o := range top {
 		sum += probs[o]
@@ -97,13 +100,18 @@ func (l *Layer) routeToken(probs []float64) (experts []int, weights []float64, o
 	if sum == 0 {
 		sum = 1
 	}
-	seen := make(map[int]int, len(top))
 	for _, o := range top {
 		ei := l.Routing[o]
-		if pos, ok := seen[ei]; ok {
+		pos := -1
+		for p, e := range experts {
+			if e == ei {
+				pos = p
+				break
+			}
+		}
+		if pos >= 0 {
 			weights[pos] += probs[o] / sum
 		} else {
-			seen[ei] = len(experts)
 			experts = append(experts, ei)
 			weights = append(weights, probs[o]/sum)
 		}
@@ -112,109 +120,121 @@ func (l *Layer) routeToken(probs []float64) (experts []int, weights []float64, o
 	return experts, weights, orig
 }
 
-// Forward runs the layer on x (T × D), returning the output and a cache for
-// backward. If stats is non-nil, routing decisions and attention scores are
-// recorded under sampleID.
-func (l *Layer) Forward(layerIdx int, x *tensor.Matrix, stats *ActivationStats, sampleID int) (*tensor.Matrix, *layerCache) {
+// Forward runs the layer on x (T × D) with c caching activations for backward
+// and ws providing all transient buffers; it returns the layer output (owned
+// by c, valid until c is reused). If stats is non-nil, routing decisions and
+// attention scores are recorded under sampleID.
+func (l *Layer) Forward(layerIdx int, x *tensor.Matrix, c *layerCache, ws *Workspace, stats *ActivationStats, sampleID int) *tensor.Matrix {
 	T, D := x.Rows, x.Cols
-	c := &layerCache{xIn: x}
 
 	// Pre-norm for attention.
-	c.xNorm = tensor.NewMatrix(T, D)
-	c.invStd1 = make([]float64, T)
+	c.xNorm = tensor.Grow(c.xNorm, T, D)
+	c.invStd1 = growFloats(c.invStd1, T)
 	for t := 0; t < T; t++ {
 		c.invStd1[t] = layerNormRow(c.xNorm.Row(t), x.Row(t))
 	}
 
 	// Single-head causal attention.
-	q := tensor.MatMul(c.xNorm, l.Wq)
-	k := tensor.MatMul(c.xNorm, l.Wk)
-	v := tensor.MatMul(c.xNorm, l.Wv)
+	ws.q = tensor.Grow(ws.q, T, D)
+	ws.k = tensor.Grow(ws.k, T, D)
+	ws.v = tensor.Grow(ws.v, T, D)
+	ws.mul.MatMulInto(ws.q, c.xNorm, l.Wq)
+	ws.mul.MatMulInto(ws.k, c.xNorm, l.Wk)
+	ws.mul.MatMulInto(ws.v, c.xNorm, l.Wv)
 	scale := 1 / math.Sqrt(float64(D))
-	c.attnP = tensor.NewMatrix(T, T)
+	c.attnP = tensor.Grow(c.attnP, T, T)
 	for t := 0; t < T; t++ {
 		row := c.attnP.Row(t)
-		qrow := q.Row(t)
+		qrow := ws.q.Row(t)
 		for u := 0; u <= t; u++ {
-			row[u] = tensor.Dot(qrow, k.Row(u)) * scale
+			row[u] = tensor.Dot(qrow, ws.k.Row(u)) * scale
 		}
 		for u := t + 1; u < T; u++ {
 			row[u] = math.Inf(-1)
 		}
 		tensor.SoftmaxInPlace(row)
 	}
-	attnOut := tensor.MatMul(c.attnP, v)
-	c.x1 = x.Clone()
-	c.x1.Add(attnOut)
+	ws.attnOut = tensor.Grow(ws.attnOut, T, D)
+	ws.mul.MatMulInto(ws.attnOut, c.attnP, ws.v)
+	c.x1 = tensor.Grow(c.x1, T, D)
+	c.x1.CopyFrom(x)
+	c.x1.Add(ws.attnOut)
 
 	// Per-token attention "received" score: how much total attention mass
-	// other tokens place on this token. This is the ā_e signal of §5.3.
-	attnRecv := make([]float64, T)
-	for t := 0; t < T; t++ {
-		row := c.attnP.Row(t)
-		for u := 0; u <= t; u++ {
-			attnRecv[u] += row[u]
+	// other tokens place on this token. This is the ā_e signal of §5.3,
+	// consumed only by stats recording.
+	if stats != nil {
+		ws.attnRecv = growFloats(ws.attnRecv, T)
+		for t := range ws.attnRecv {
+			ws.attnRecv[t] = 0
+		}
+		for t := 0; t < T; t++ {
+			row := c.attnP.Row(t)
+			for u := 0; u <= t; u++ {
+				ws.attnRecv[u] += row[u]
+			}
 		}
 	}
 
 	// Pre-norm for MoE.
-	c.xMid = tensor.NewMatrix(T, D)
-	c.invStd2 = make([]float64, T)
+	c.xMid = tensor.Grow(c.xMid, T, D)
+	c.invStd2 = growFloats(c.invStd2, T)
 	for t := 0; t < T; t++ {
 		c.invStd2[t] = layerNormRow(c.xMid.Row(t), c.x1.Row(t))
 	}
 
-	// MoE block.
-	out := c.x1.Clone()
-	c.routedExperts = make([][]int, T)
-	c.routedWeights = make([][]float64, T)
-	c.hidden = make([][][]float64, T)
-	probs := make([]float64, l.OrigExperts)
-	eOut := make([]float64, D)
+	// MoE block. Gate logits for all tokens are one fused matmul (same
+	// ascending-i accumulation as the former per-token inner loop).
+	out := tensor.Grow(c.out, T, D)
+	c.out = out
+	out.CopyFrom(c.x1)
+	ws.gateLogits = tensor.Grow(ws.gateLogits, T, l.OrigExperts)
+	ws.mul.MatMulInto(ws.gateLogits, c.xMid, l.Gate)
+	c.routedExperts = growOuterInts(c.routedExperts, T)
+	c.routedWeights = growOuterFloats(c.routedWeights, T)
+	c.hidden = growOuterHidden(c.hidden, T)
+	ws.gateProbs = growFloats(ws.gateProbs, l.OrigExperts)
+	ws.eOut = growFloats(ws.eOut, D)
+	probs := ws.gateProbs
+	eOut := ws.eOut
 	for t := 0; t < T; t++ {
 		xt := c.xMid.Row(t)
-		logits := make([]float64, l.OrigExperts)
-		for o := 0; o < l.OrigExperts; o++ {
-			var s float64
-			for i, xv := range xt {
-				s += xv * l.Gate.At(i, o)
-			}
-			logits[o] = s
-		}
-		tensor.Softmax(probs, logits)
-		experts, weights, orig := l.routeToken(probs)
+		tensor.Softmax(probs, ws.gateLogits.Row(t))
+		experts, weights, orig := l.routeToken(probs, ws,
+			c.routedExperts[t][:0], c.routedWeights[t][:0], ws.routeOrig[:0])
 		c.routedExperts[t] = experts
 		c.routedWeights[t] = weights
-		c.hidden[t] = make([][]float64, len(experts))
+		ws.routeOrig = orig
+		c.hidden[t] = growOuterFloats(c.hidden[t], len(experts))
 		orow := out.Row(t)
 		for s, ei := range experts {
-			h := make([]float64, l.Experts[ei].W1.Cols)
+			h := growFloats(c.hidden[t][s], l.Experts[ei].W1.Cols)
 			l.Experts[ei].Forward(xt, h, eOut)
 			c.hidden[t][s] = h
-			w := weights[s]
-			for d := 0; d < D; d++ {
-				orow[d] += w * eOut[d]
-			}
+			tensor.Axpy(weights[s], eOut[:D], orow[:D])
 		}
 		if stats != nil {
-			stats.recordToken(layerIdx, orig, attnRecv[t], sampleID)
+			stats.recordToken(layerIdx, orig, ws.attnRecv[t], sampleID)
 		}
 	}
-	return out, c
+	return out
 }
 
 // Backward propagates dOut (gradient of the loss w.r.t. the layer output)
 // through the layer, accumulating expert parameter gradients into grads
-// (which may be nil to propagate only) and returning the gradient w.r.t. the
-// layer input. tokenMask, when non-nil, marks tokens whose routing gradient
-// magnitudes should be recorded for utility estimation.
-func (l *Layer) Backward(layerIdx int, c *layerCache, dOut *tensor.Matrix, grads *Grads) *tensor.Matrix {
+// (which may be nil to propagate only) and writing the gradient w.r.t. the
+// layer input into dXIn (fully overwritten; must be T × D). All scratch comes
+// from ws.
+func (l *Layer) Backward(layerIdx int, c *layerCache, dOut, dXIn *tensor.Matrix, ws *Workspace, grads *Grads) {
 	T, D := dOut.Rows, dOut.Cols
 
 	// MoE block backward. out = x1 + Σ w_e · Expert_e(xMid).
-	dX1 := dOut.Clone() // residual path
-	dXMid := tensor.NewMatrix(T, D)
-	dyTok := make([]float64, D)
+	ws.dX1 = tensor.Grow(ws.dX1, T, D)
+	ws.dX1.CopyFrom(dOut) // residual path
+	ws.dXMid = tensor.Grow(ws.dXMid, T, D)
+	ws.dXMid.Zero() // accumulated into per token-slot below
+	ws.dyTok = growFloats(ws.dyTok, D)
+	dyTok := ws.dyTok
 	for t := 0; t < T; t++ {
 		dorow := dOut.Row(t)
 		xt := c.xMid.Row(t)
@@ -224,30 +244,31 @@ func (l *Layer) Backward(layerIdx int, c *layerCache, dOut *tensor.Matrix, grads
 				dyTok[d] = w * dorow[d]
 			}
 			ex := l.Experts[ei]
+			ws.dh = growFloats(ws.dh, len(ex.B1))
 			if grads != nil {
 				grads.recordTokenGrad(layerIdx, ei, dyTok)
-				ex.Backward(grads.expertGrad(layerIdx, ei, ex), xt, c.hidden[t][s], dyTok, dXMid.Row(t))
+				ex.Backward(grads.expertGrad(layerIdx, ei, ex), xt, c.hidden[t][s], dyTok, ws.dXMid.Row(t), ws.dh)
 			} else {
-				// Propagate dx without accumulating parameter grads.
-				scratch := NewExpertGrad(ex)
-				ex.Backward(scratch, xt, c.hidden[t][s], dyTok, dXMid.Row(t))
+				// Propagate dx only; the scratch sink's contents are never read.
+				ex.Backward(ws.scratchGrad(ex), xt, c.hidden[t][s], dyTok, ws.dXMid.Row(t), ws.dh)
 			}
 		}
 	}
 	// LN2 backward (exact).
 	for t := 0; t < T; t++ {
-		layerNormBackward(dX1.Row(t), dXMid.Row(t), c.xMid.Row(t), c.invStd2[t])
+		layerNormBackward(ws.dX1.Row(t), ws.dXMid.Row(t), c.xMid.Row(t), c.invStd2[t])
 	}
 
 	// Attention backward with frozen probabilities:
 	// x1 = xIn + P · (xNorm·Wv)  ⇒  dxNorm = Pᵀ·dX1·Wvᵀ; dxIn = dX1 (+ LN1 path).
-	dV := tensor.MatMulTransA(c.attnP, dX1) // (T×T)ᵀ × (T×D)
-	dXNorm := tensor.MatMulTransB(dV, l.Wv)
-	dXIn := dX1.Clone()
+	ws.dV = tensor.Grow(ws.dV, T, D)
+	tensor.MatMulTransAInto(ws.dV, c.attnP, ws.dX1) // (T×T)ᵀ × (T×D)
+	ws.dXNorm = tensor.Grow(ws.dXNorm, T, D)
+	tensor.MatMulTransBInto(ws.dXNorm, ws.dV, l.Wv)
+	dXIn.CopyFrom(ws.dX1)
 	for t := 0; t < T; t++ {
-		layerNormBackward(dXIn.Row(t), dXNorm.Row(t), c.xNorm.Row(t), c.invStd1[t])
+		layerNormBackward(dXIn.Row(t), ws.dXNorm.Row(t), c.xNorm.Row(t), c.invStd1[t])
 	}
-	return dXIn
 }
 
 // layerNormBackward accumulates into dx the exact gradient of LayerNorm

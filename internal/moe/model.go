@@ -123,40 +123,104 @@ func (m *Model) sameShape(dst *Model) bool {
 	return true
 }
 
-// forwardFull runs the whole model on seq, returning logits and the
-// per-layer caches (nil caches slice if keepCache is false).
-func (m *Model) forwardFull(seq []int, stats *ActivationStats, sampleID int, keepCache bool) (*tensor.Matrix, []*layerCache, *tensor.Matrix, []float64) {
-	T := len(seq)
-	x := tensor.NewMatrix(T, m.Cfg.Dim)
+// embedWS writes the token embeddings of seq into the workspace input buffer
+// and returns it.
+func (m *Model) embedWS(ws *Workspace, seq []int) *tensor.Matrix {
+	ws.x = tensor.Grow(ws.x, len(seq), m.Cfg.Dim)
 	for t, tok := range seq {
-		copy(x.Row(t), m.Embed.Row(tok))
+		copy(ws.x.Row(t), m.Embed.Row(tok))
 	}
-	var caches []*layerCache
-	if keepCache {
-		caches = make([]*layerCache, len(m.Layers))
-	}
-	for l, layer := range m.Layers {
-		out, c := layer.Forward(l, x, stats, sampleID)
-		if keepCache {
-			caches[l] = c
-		}
-		x = out
-	}
-	// Final pre-head layer norm (frozen-statistics backward).
-	normed := tensor.NewMatrix(T, m.Cfg.Dim)
-	invStd := make([]float64, T)
+	return ws.x
+}
+
+// headLogits applies the final pre-head layer norm (frozen-statistics
+// backward) and the output head to the last layer's activation x, returning
+// the logits (ws.normed and ws.invStd hold the LN state for backward).
+func (m *Model) headLogits(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
+	T := x.Rows
+	ws.normed = tensor.Grow(ws.normed, T, m.Cfg.Dim)
+	ws.invStd = growFloats(ws.invStd, T)
 	for t := 0; t < T; t++ {
-		invStd[t] = layerNormRow(normed.Row(t), x.Row(t))
+		ws.invStd[t] = layerNormRow(ws.normed.Row(t), x.Row(t))
 	}
-	logits := tensor.MatMul(normed, m.Head)
-	return logits, caches, normed, invStd
+	ws.logits = tensor.Grow(ws.logits, T, m.Head.Cols)
+	ws.mul.MatMulInto(ws.logits, ws.normed, m.Head)
+	return ws.logits
+}
+
+// forwardFull runs the whole model on seq with all transient state drawn
+// from ws, returning logits, per-layer caches, the pre-head normalized
+// hidden states, and their inverse std-devs. Everything returned aliases
+// workspace storage.
+func (m *Model) forwardFull(ws *Workspace, seq []int, stats *ActivationStats, sampleID int) (*tensor.Matrix, []*layerCache, *tensor.Matrix, []float64) {
+	x := m.embedWS(ws, seq)
+	caches := ws.cachesFor(len(m.Layers))
+	for l, layer := range m.Layers {
+		x = layer.Forward(l, x, caches[l], ws, stats, sampleID)
+	}
+	return m.headLogits(ws, x), caches, ws.normed, ws.invStd
+}
+
+// ForwardPrefixWS runs the embedding and layers [0, stop), returning the
+// activation entering layer stop. The result aliases storage owned by layer
+// stop-1's workspace cache (the embedding buffer when stop == 0), which
+// LossSuffixWS calls resuming at start >= stop leave untouched — so one
+// prefix can serve many suffix evaluations as long as no parameter below
+// stop changes. SPSA probing uses this to re-evaluate the loss after
+// perturbing a single expert without recomputing the layers beneath it.
+func (m *Model) ForwardPrefixWS(ws *Workspace, seq []int, stop int) *tensor.Matrix {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	x := m.embedWS(ws, seq)
+	caches := ws.cachesFor(len(m.Layers))
+	for l := 0; l < stop; l++ {
+		x = m.Layers[l].Forward(l, x, caches[l], ws, nil, -1)
+	}
+	return x
+}
+
+// LayerInputWS returns the activation that entered layer l in the most
+// recent forward pass run on ws (the embedding buffer for l == 0). It stays
+// valid across LossSuffixWS calls that resume at start >= l, which is what
+// lets a batched SPSA sweep probe several experts off one baseline pass.
+func (m *Model) LayerInputWS(ws *Workspace, l int) *tensor.Matrix {
+	if l == 0 {
+		return ws.x
+	}
+	return ws.caches[l-1].out
+}
+
+// LossSuffixWS resumes a forward pass at layer start from the activation x
+// (as produced by ForwardPrefixWS with stop == start on the same workspace)
+// and returns the masked mean next-token cross-entropy of seq. The
+// composition ForwardPrefixWS + LossSuffixWS is bit-identical to LossWS at
+// every split point.
+func (m *Model) LossSuffixWS(ws *Workspace, x *tensor.Matrix, start int, seq []int, mask []bool) float64 {
+	caches := ws.cachesFor(len(m.Layers))
+	for l := start; l < len(m.Layers); l++ {
+		x = m.Layers[l].Forward(l, x, caches[l], ws, nil, -1)
+	}
+	logits := m.headLogits(ws, x)
+	ws.ceProbs = growFloats(ws.ceProbs, logits.Cols)
+	loss, _ := crossEntropy(logits, seq, mask, nil, ws.ceProbs)
+	return loss
 }
 
 // Forward runs inference on seq and returns the T × VocabSize logits.
 // Routing statistics are recorded into stats when non-nil; sampleID tags the
 // sequence for per-expert data-set tracking (pass -1 to skip).
 func (m *Model) Forward(seq []int, stats *ActivationStats, sampleID int) *tensor.Matrix {
-	logits, _, _, _ := m.forwardFull(seq, stats, sampleID, false)
+	return m.ForwardWS(NewWorkspace(), seq, stats, sampleID)
+}
+
+// ForwardWS is Forward with caller-provided workspace. The returned logits
+// alias ws storage and are valid only until ws is next used.
+func (m *Model) ForwardWS(ws *Workspace, seq []int, stats *ActivationStats, sampleID int) *tensor.Matrix {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	logits, _, _, _ := m.forwardFull(ws, seq, stats, sampleID)
 	return logits
 }
 
@@ -164,8 +228,17 @@ func (m *Model) Forward(seq []int, stats *ActivationStats, sampleID int) *tensor
 // restricted to positions where mask is true (mask[t] gates the prediction
 // made *at* position t for token t+1). A nil mask scores all positions.
 func (m *Model) Loss(seq []int, mask []bool) float64 {
-	logits := m.Forward(seq, nil, -1)
-	loss, _ := crossEntropy(logits, seq, mask, nil)
+	return m.LossWS(NewWorkspace(), seq, mask)
+}
+
+// LossWS is Loss with caller-provided workspace.
+func (m *Model) LossWS(ws *Workspace, seq []int, mask []bool) float64 {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	logits := m.ForwardWS(ws, seq, nil, -1)
+	ws.ceProbs = growFloats(ws.ceProbs, logits.Cols)
+	loss, _ := crossEntropy(logits, seq, mask, nil, ws.ceProbs)
 	return loss
 }
 
@@ -174,25 +247,49 @@ func (m *Model) Loss(seq []int, mask []bool) float64 {
 // masked cross-entropy loss. Embedding/head gradients are accumulated only
 // when grads was created with trainEmbed.
 func (m *Model) ForwardBackward(seq []int, mask []bool, grads *Grads, stats *ActivationStats, sampleID int) float64 {
-	logits, caches, normed, invStd := m.forwardFull(seq, stats, sampleID, true)
-	dLogits := tensor.NewMatrix(logits.Rows, logits.Cols)
-	loss, n := crossEntropy(logits, seq, mask, dLogits)
+	return m.ForwardBackwardWS(NewWorkspace(), seq, mask, grads, stats, sampleID)
+}
+
+// ForwardBackwardWS is ForwardBackward with caller-provided workspace. With a
+// warm workspace the whole pass performs zero heap allocations; results are
+// bit-identical to the allocating path.
+func (m *Model) ForwardBackwardWS(ws *Workspace, seq []int, mask []bool, grads *Grads, stats *ActivationStats, sampleID int) float64 {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	logits, caches, normed, invStd := m.forwardFull(ws, seq, stats, sampleID)
+	ws.dLogits = tensor.Grow(ws.dLogits, logits.Rows, logits.Cols)
+	ws.dLogits.Zero() // masked rows are never written by crossEntropy
+	ws.ceProbs = growFloats(ws.ceProbs, logits.Cols)
+	loss, n := crossEntropy(logits, seq, mask, ws.dLogits, ws.ceProbs)
 	if n == 0 {
 		return 0
 	}
 
 	// Head backward: logits = normed × Head.
 	if grads != nil && grads.Head != nil {
-		grads.Head.Add(tensor.MatMulTransA(normed, dLogits))
+		ws.headGrad = tensor.Grow(ws.headGrad, normed.Cols, ws.dLogits.Cols)
+		tensor.MatMulTransAInto(ws.headGrad, normed, ws.dLogits)
+		grads.Head.Add(ws.headGrad)
 	}
-	dNormed := tensor.MatMulTransB(dLogits, m.Head)
+	ws.dNormed = tensor.Grow(ws.dNormed, ws.dLogits.Rows, m.Head.Rows)
+	tensor.MatMulTransBInto(ws.dNormed, ws.dLogits, m.Head)
 	// Final LN backward (exact).
-	dX := tensor.NewMatrix(dNormed.Rows, dNormed.Cols)
+	ws.dX[0] = tensor.Grow(ws.dX[0], ws.dNormed.Rows, ws.dNormed.Cols)
+	ws.dX[1] = tensor.Grow(ws.dX[1], ws.dNormed.Rows, ws.dNormed.Cols)
+	dX := ws.dX[0]
+	dX.Zero() // layerNormBackward accumulates
 	for t := 0; t < dX.Rows; t++ {
-		layerNormBackward(dX.Row(t), dNormed.Row(t), normed.Row(t), invStd[t])
+		layerNormBackward(dX.Row(t), ws.dNormed.Row(t), normed.Row(t), invStd[t])
 	}
+	// The dL/dx chain ping-pongs between the two workspace matrices: layer
+	// l's input gradient becomes layer l-1's output gradient.
+	buf := 1
 	for l := len(m.Layers) - 1; l >= 0; l-- {
-		dX = m.Layers[l].Backward(l, caches[l], dX, grads)
+		dNext := ws.dX[buf]
+		m.Layers[l].Backward(l, caches[l], dX, dNext, ws, grads)
+		dX = dNext
+		buf = 1 - buf
 	}
 	// Embedding backward.
 	if grads != nil && grads.Embed != nil {
@@ -208,12 +305,12 @@ func (m *Model) ForwardBackward(seq []int, mask []bool, grads *Grads, stats *Act
 }
 
 // crossEntropy computes mean next-token cross-entropy over masked positions
-// and, if dLogits is non-nil, writes (softmax - onehot)/n into it.
-func crossEntropy(logits *tensor.Matrix, seq []int, mask []bool, dLogits *tensor.Matrix) (float64, int) {
+// and, if dLogits is non-nil, writes (softmax - onehot)/n into it. probs is
+// caller-provided softmax scratch of length logits.Cols.
+func crossEntropy(logits *tensor.Matrix, seq []int, mask []bool, dLogits *tensor.Matrix, probs []float64) (float64, int) {
 	T := logits.Rows
 	var loss float64
 	var n int
-	probs := make([]float64, logits.Cols)
 	for t := 0; t < T-1; t++ {
 		if mask != nil && !mask[t] {
 			continue
@@ -248,12 +345,21 @@ func crossEntropy(logits *tensor.Matrix, seq []int, mask []bool, dLogits *tensor
 
 // Generate greedily decodes n tokens following prefix.
 func (m *Model) Generate(prefix []int, n int) []int {
+	return m.GenerateWS(NewWorkspace(), prefix, n)
+}
+
+// GenerateWS is Generate with caller-provided workspace, reused across the
+// decode steps.
+func (m *Model) GenerateWS(ws *Workspace, prefix []int, n int) []int {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	seq := append([]int(nil), prefix...)
 	for i := 0; i < n; i++ {
 		if len(seq) >= m.Cfg.MaxSeqLen {
 			seq = seq[len(seq)-m.Cfg.MaxSeqLen+1:]
 		}
-		logits := m.Forward(seq, nil, -1)
+		logits := m.ForwardWS(ws, seq, nil, -1)
 		next := tensor.ArgMax(logits.Row(logits.Rows - 1))
 		seq = append(seq, next)
 	}
@@ -263,9 +369,18 @@ func (m *Model) Generate(prefix []int, n int) []int {
 // ScoreContinuation returns the mean log-probability the model assigns to
 // cont following prefix. Used for multiple-choice evaluation.
 func (m *Model) ScoreContinuation(prefix, cont []int) float64 {
+	return m.ScoreContinuationWS(NewWorkspace(), prefix, cont)
+}
+
+// ScoreContinuationWS is ScoreContinuation with caller-provided workspace.
+func (m *Model) ScoreContinuationWS(ws *Workspace, prefix, cont []int) float64 {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	seq := append(append([]int(nil), prefix...), cont...)
-	logits := m.Forward(seq, nil, -1)
-	probs := make([]float64, logits.Cols)
+	logits := m.ForwardWS(ws, seq, nil, -1)
+	ws.ceProbs = growFloats(ws.ceProbs, logits.Cols)
+	probs := ws.ceProbs
 	var lp float64
 	for i, tok := range cont {
 		pos := len(prefix) + i - 1 // prediction for cont[i] is made at pos
@@ -287,7 +402,7 @@ func (m *Model) ScoreContinuation(prefix, cont []int) float64 {
 // metrics compare these embeddings between a modified and a reference model
 // via cosine distance.
 func (m *Model) OutputEmbedding(seq []int) []float64 {
-	_, _, normed, _ := m.forwardFull(seq, nil, -1, false)
+	_, _, normed, _ := m.forwardFull(NewWorkspace(), seq, nil, -1)
 	out := make([]float64, m.Cfg.Dim)
 	copy(out, normed.Row(normed.Rows-1))
 	return out

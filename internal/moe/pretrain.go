@@ -25,6 +25,7 @@ func Pretrain(m *Model, sampler func(*tensor.RNG) []int, steps, batch int, lr fl
 // discarded).
 func PretrainContext(ctx context.Context, m *Model, sampler func(*tensor.RNG) []int, steps, batch int, lr float64, g *tensor.RNG) ([]float64, error) {
 	grads := NewGrads(m, true)
+	ws := NewWorkspace()
 	losses := make([]float64, 0, steps)
 	for s := 0; s < steps; s++ {
 		if err := ctx.Err(); err != nil {
@@ -33,7 +34,7 @@ func PretrainContext(ctx context.Context, m *Model, sampler func(*tensor.RNG) []
 		var loss float64
 		for b := 0; b < batch; b++ {
 			seq := sampler(g)
-			loss += m.ForwardBackward(seq, nil, grads, nil, -1)
+			loss += m.ForwardBackwardWS(ws, seq, nil, grads, nil, -1)
 		}
 		m.ApplySGD(grads, lr/float64(batch))
 		losses = append(losses, loss/float64(batch))

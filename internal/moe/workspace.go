@@ -1,0 +1,132 @@
+package moe
+
+import "repro/internal/tensor"
+
+// Workspace owns every transient buffer a forward or backward pass touches:
+// the per-layer activation caches (normed inputs, attention probabilities,
+// residuals, expert hidden states, routing decisions), the per-token logit
+// and softmax scratch, the backward-pass gradient matrices, and the tiled
+// matmul packing buffer. Buffers grow on demand to the high-water shape and
+// are then reused across tokens, layers, local iterations, and participants,
+// so steady-state ForwardBackward performs zero heap allocations
+// (TestForwardBackwardZeroAllocs pins this).
+//
+// A Workspace is NOT goroutine-safe: it must be owned by exactly one
+// goroutine at a time. The federated engine keeps one per worker scratch
+// (fed.Scratch.Workspace), which satisfies that by construction. Matrices
+// returned by the *WS model methods alias workspace storage and are valid
+// only until the next call with the same workspace.
+//
+// Reusing one workspace across models of different shapes is fine — buffers
+// are sized per call — and changes no math: every buffer is either fully
+// overwritten or explicitly zeroed before use, so results are bit-identical
+// to the allocating path.
+type Workspace struct {
+	mul tensor.MulScratch
+
+	// Forward state. caches[l] persists layer l's activations for backward.
+	caches  []*layerCache
+	x       *tensor.Matrix // token embeddings (layer 0 input)
+	q, k, v *tensor.Matrix // attention projections (transient per layer)
+	attnOut *tensor.Matrix
+
+	// Routing scratch, reused across tokens.
+	gateLogits *tensor.Matrix
+	gateProbs  []float64
+	topkIdx    []int
+	topkUsed   []bool
+	routeOrig  []int
+	eOut       []float64
+	attnRecv   []float64
+
+	// Final layer norm + head.
+	normed *tensor.Matrix
+	invStd []float64
+	logits *tensor.Matrix
+
+	// Loss and backward state.
+	ceProbs  []float64
+	dLogits  *tensor.Matrix
+	dNormed  *tensor.Matrix
+	headGrad *tensor.Matrix
+	dX       [2]*tensor.Matrix // ping-pong dL/dx chain through the layers
+	dX1      *tensor.Matrix
+	dXMid    *tensor.Matrix
+	dV       *tensor.Matrix
+	dXNorm   *tensor.Matrix
+	dyTok    []float64
+	dh       []float64
+	nilGrad  *ExpertGrad // parameter-grad sink for the grads-nil backward path
+}
+
+// NewWorkspace returns an empty workspace; buffers are allocated lazily on
+// first use and reused afterwards.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// cachesFor returns n per-layer caches, growing the pool while preserving
+// previously allocated cache buffers.
+func (ws *Workspace) cachesFor(n int) []*layerCache {
+	for len(ws.caches) < n {
+		ws.caches = append(ws.caches, &layerCache{})
+	}
+	return ws.caches[:n]
+}
+
+// scratchGrad returns a parameter-gradient sink shaped like e for the
+// grads-nil backward path. Its contents are never read — Expert.Backward only
+// consumes weights and dh when computing dx — so the buffer is grown, not
+// zeroed, in steady state.
+func (ws *Workspace) scratchGrad(e *Expert) *ExpertGrad {
+	g := ws.nilGrad
+	if g == nil {
+		g = &ExpertGrad{}
+		ws.nilGrad = g
+	}
+	g.W1 = tensor.Grow(g.W1, e.W1.Rows, e.W1.Cols)
+	g.W2 = tensor.Grow(g.W2, e.W2.Rows, e.W2.Cols)
+	g.B1 = growFloats(g.B1, len(e.B1))
+	g.B2 = growFloats(g.B2, len(e.B2))
+	return g
+}
+
+// growFloats returns a length-n float64 slice, reusing s's storage when its
+// capacity suffices. Contents are unspecified; callers fully overwrite.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growOuterInts returns a length-n [][]int whose inner slices — including
+// those parked beyond the previous length from earlier high-water marks —
+// are preserved for reuse.
+func growOuterInts(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		ns := make([][]int, n)
+		copy(ns, s[:cap(s)])
+		return ns
+	}
+	return s[:n]
+}
+
+// growOuterFloats is growOuterInts for [][]float64.
+func growOuterFloats(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		ns := make([][]float64, n)
+		copy(ns, s[:cap(s)])
+		return ns
+	}
+	return s[:n]
+}
+
+// growOuterHidden is growOuterInts for the [token][slot][unit] hidden-state
+// buffers.
+func growOuterHidden(s [][][]float64, n int) [][][]float64 {
+	if cap(s) < n {
+		ns := make([][][]float64, n)
+		copy(ns, s[:cap(s)])
+		return ns
+	}
+	return s[:n]
+}

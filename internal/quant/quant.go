@@ -111,6 +111,48 @@ func RoundTrip(m *tensor.Matrix, b Bits) *tensor.Matrix {
 	return Quantize(m, b).Dequantize()
 }
 
+// RoundTripInPlace overwrites m with its b-bit round-trip reconstruction
+// without materializing the code matrix: each element becomes
+// Round(v/scale), clamped to the grid, times the per-row scale — bit for bit
+// the value RoundTrip produces (codes fit exactly in the int8 grid, so the
+// integer conversion in Quantize/Dequantize is value-preserving). The
+// profiling path re-quantizes a scratch model every round and uses this to
+// do it in one pass with zero allocations.
+func RoundTripInPlace(m *tensor.Matrix, b Bits) {
+	if !b.Valid() {
+		panic(fmt.Sprintf("quant: unsupported bit width %d", b))
+	}
+	levels := float64(b.Levels())
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var mx float64
+		for _, v := range row {
+			if a := math.Abs(v); a > mx {
+				mx = a
+			}
+		}
+		scale := mx / levels
+		if scale == 0 {
+			// Dequantize writes +0.0 for untouched codes; an all-zero row may
+			// hold -0.0 entries, so overwrite rather than skip.
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		for j, v := range row {
+			c := tensor.Clamp(math.Round(v/scale), -levels, levels)
+			if c == 0 {
+				// Round(-0/scale) is -0.0, but the int8 code is +0 and
+				// dequantizes to +0.0.
+				row[j] = 0
+				continue
+			}
+			row[j] = c * scale
+		}
+	}
+}
+
 // Error reports the mean absolute elementwise reconstruction error of
 // quantizing m at b bits, normalized by the mean absolute weight value.
 // It is ~0 at high precision and grows as bits shrink.

@@ -135,6 +135,29 @@ func TestCompressionRatio(t *testing.T) {
 	}
 }
 
+// TestRoundTripInPlaceBitIdentity pins the fused in-place round-trip bit for
+// bit against the allocating Quantize→Dequantize path, including a -0.0
+// entry, an all-zero row (where Dequantize normalizes -0.0 to +0.0), and
+// values far beyond the clamp range.
+func TestRoundTripInPlaceBitIdentity(t *testing.T) {
+	for _, b := range []Bits{Bits2, Bits4, Bits8} {
+		m := randMat(7, 9, 13)
+		m.Data[0] = math.Copysign(0, -1)
+		m.Data[5] = 1e9 // clamps to the top level
+		for j := 0; j < m.Cols; j++ {
+			m.Data[3*m.Cols+j] = math.Copysign(0, -1) // all-(-0.0) row
+		}
+		want := RoundTrip(m, b)
+		got := m.Clone()
+		RoundTripInPlace(got, b)
+		for i, w := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(w) {
+				t.Fatalf("%v: element %d: in-place %v != round-trip %v", b, i, got.Data[i], w)
+			}
+		}
+	}
+}
+
 func TestDequantizePreservesSign(t *testing.T) {
 	m := tensor.FromSlice(1, 4, []float64{-1, -0.5, 0.5, 1})
 	rt := RoundTrip(m, Bits8)

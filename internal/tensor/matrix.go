@@ -27,6 +27,25 @@ func FromSlice(rows, cols int, data []float64) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
 
+// Grow returns a rows×cols matrix, reusing m's backing storage when its
+// capacity suffices and allocating otherwise (m may be nil). Element contents
+// are unspecified after a Grow — callers must fully overwrite or Zero before
+// reading. Workspaces use it so transient matrices stop allocating once their
+// high-water shape is reached.
+func Grow(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m == nil {
+		return NewMatrix(rows, cols)
+	}
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
 // At returns element (i,j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
@@ -85,8 +104,35 @@ func MatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// Tile sizes for the blocked matmul: a kTile×jTile block of b is packed into
+// a contiguous buffer and reused across every row of a. Matrices that fit a
+// single block (everything in the shipped model configs) take a direct dense
+// path with no packing and no per-element branch.
+const (
+	matmulTileK = 128 // b-rows (reduction dim) per packed block
+	matmulTileJ = 64  // b-cols (output cols) per packed block
+)
+
+// MulScratch is a reusable packing buffer for the tiled matmul. The zero
+// value is ready to use; the buffer grows to one tile and is then reused, so
+// a per-worker MulScratch makes steady-state large matmuls allocation-free.
+type MulScratch struct {
+	pack []float64
+}
+
 // MatMulInto computes out = a×b into a preallocated matrix.
+//
+// The kernel is tiled over output blocks only: every out element still
+// accumulates its a[i][k]*b[k][j] terms in ascending-k order starting from
+// zero, exactly like the naive ikj loop, so results are bit-identical to the
+// reference kernel at every shape (TestMatMulTiledBitIdentity pins this).
 func MatMulInto(out, a, b *Matrix) {
+	var ms MulScratch
+	ms.MatMulInto(out, a, b)
+}
+
+// MatMulInto is the package-level MatMulInto backed by ms's packing buffer.
+func (ms *MulScratch) MatMulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -94,18 +140,54 @@ func MatMulInto(out, a, b *Matrix) {
 		panic("tensor: matmul output shape mismatch")
 	}
 	out.Zero()
-	// ikj loop order keeps the inner loop streaming over contiguous rows.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
+	if (b.Rows <= matmulTileK && b.Cols <= matmulTileJ) || b.Rows*b.Cols <= matmulTileK*matmulTileJ {
+		// Single-block case — b fits a tile's worth of cache even if one
+		// dimension overhangs (e.g. the thin dim×vocab head projection):
+		// direct dense ikj, streaming contiguous b rows by running offset;
+		// the length-pinned reslice keeps the inner loop free of bounds
+		// checks. Element order per output is the same ascending-k pass as
+		// the blocked path, so path selection never changes bits.
+		bd := b.Data
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			boff := 0
+			for _, av := range arow {
+				Axpy(av, bd[boff:boff+len(orow)], orow)
+				boff += b.Cols
 			}
-			brow := b.Row(k)
-			for j := range brow {
-				orow[j] += av * brow[j]
+		}
+		return
+	}
+	if cap(ms.pack) < matmulTileK*matmulTileJ {
+		ms.pack = make([]float64, matmulTileK*matmulTileJ)
+	}
+	// Blocked path: for each (k,j) tile of b, pack the tile contiguously and
+	// sweep all rows of a over it. k tiles are visited in ascending order and
+	// partial sums accumulate directly into out, so each element's reduction
+	// remains one ascending-k pass — bit-identical to the naive kernel.
+	for j0 := 0; j0 < b.Cols; j0 += matmulTileJ {
+		jw := b.Cols - j0
+		if jw > matmulTileJ {
+			jw = matmulTileJ
+		}
+		for k0 := 0; k0 < b.Rows; k0 += matmulTileK {
+			kw := b.Rows - k0
+			if kw > matmulTileK {
+				kw = matmulTileK
+			}
+			pack := ms.pack[:kw*jw]
+			for k := 0; k < kw; k++ {
+				copy(pack[k*jw:(k+1)*jw], b.Row(k0+k)[j0:j0+jw])
+			}
+			for i := 0; i < a.Rows; i++ {
+				arow := a.Row(i)[k0 : k0+kw]
+				orow := out.Row(i)[j0 : j0+jw]
+				poff := 0
+				for _, av := range arow {
+					Axpy(av, pack[poff:poff+len(orow)], orow)
+					poff += jw
+				}
 			}
 		}
 	}
@@ -113,10 +195,20 @@ func MatMulInto(out, a, b *Matrix) {
 
 // MatMulTransB returns a×bᵀ.
 func MatMulTransB(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Rows)
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes out = a×bᵀ into a preallocated matrix. Every
+// element is overwritten.
+func MatMulTransBInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Rows)
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic("tensor: matmulT output shape mismatch")
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -124,15 +216,28 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 			orow[j] = Dot(arow, b.Row(j))
 		}
 	}
-	return out
 }
 
 // MatMulTransA returns aᵀ×b.
 func MatMulTransA(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Cols, b.Cols)
+	MatMulTransAInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes out = aᵀ×b into a preallocated matrix (zeroed
+// first). The skip on zero a-elements is kept deliberately: the transposed
+// operands on the backward path (attention probabilities, masked logit
+// gradients) are genuinely sparse, and skipping zero terms cannot change the
+// accumulated bits for finite b.
+func MatMulTransAInto(out, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulTA shape mismatch (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Cols, b.Cols)
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic("tensor: matmulTA output shape mismatch")
+	}
+	out.Zero()
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
@@ -146,18 +251,27 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // Transpose returns mᵀ.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
+	TransposeInto(out, m)
+	return out
+}
+
+// TransposeInto writes mᵀ into a preallocated out. Every element is
+// overwritten.
+func TransposeInto(out, m *Matrix) {
+	if out.Rows != m.Cols || out.Cols != m.Rows {
+		panic("tensor: transpose output shape mismatch")
+	}
 	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			out.Set(j, i, m.At(i, j))
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
 		}
 	}
-	return out
 }
 
 // Add computes m += other elementwise.

@@ -14,6 +14,27 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
+// Axpy adds a*x elementwise into y: y[i] += a*x[i]. Lengths must match. The
+// 4-way unroll only reduces loop overhead — each element still sees exactly
+// one fused accumulation, so results are bit-identical to the plain loop.
+// This is the inner kernel of the matmul fast path and the expert FFN.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: axpy length mismatch")
+	}
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
 // Norm2 returns the Euclidean norm of v.
 func Norm2(v []float64) float64 {
 	var s float64
@@ -87,14 +108,31 @@ func ArgMax(v []float64) int {
 // order. k is clamped to len(v). Selection is deterministic: ties break
 // toward the lower index.
 func TopK(v []float64, k int) []int {
+	idx, _ := TopKInto(nil, nil, v, k)
+	return idx
+}
+
+// TopKInto is TopK with caller-owned buffers: idx receives the selected
+// indices (reused when capacity suffices) and used is the selection bitmap
+// (grown as needed, reset on entry). Either may be nil. It returns the index
+// slice and the used buffer for reuse; with warm buffers it does not
+// allocate.
+func TopKInto(idx []int, used []bool, v []float64, k int) ([]int, []bool) {
 	if k > len(v) {
 		k = len(v)
 	}
 	if k <= 0 {
-		return nil
+		return idx[:0], used
 	}
-	idx := make([]int, 0, k)
-	used := make([]bool, len(v))
+	if cap(used) < len(v) {
+		used = make([]bool, len(v))
+	} else {
+		used = used[:len(v)]
+		for i := range used {
+			used[i] = false
+		}
+	}
+	idx = idx[:0]
 	for n := 0; n < k; n++ {
 		best := math.Inf(-1)
 		bi := -1
@@ -106,7 +144,7 @@ func TopK(v []float64, k int) []int {
 		used[bi] = true
 		idx = append(idx, bi)
 	}
-	return idx
+	return idx, used
 }
 
 // Mean returns the arithmetic mean of v, or 0 for empty input.
