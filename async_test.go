@@ -30,6 +30,7 @@ func TestSyncModeBitIdentity(t *testing.T) {
 		t.Fatalf("reading golden file (regenerate with -update): %v", err)
 	}
 	want := make(map[string][]string)
+	//fluxvet:allow strictdecode golden file is a free-form name->curve map with no fixed schema to enforce
 	if err := json.Unmarshal(blob, &want); err != nil {
 		t.Fatalf("parsing %s: %v", goldenPath, err)
 	}
@@ -97,6 +98,7 @@ func TestGoldenAsyncConvergence(t *testing.T) {
 		t.Skipf("golden values are pinned on amd64; %s may fuse FMA and drift in the last bit", runtime.GOARCH)
 	}
 	got := make(map[string][]string)
+	//fluxvet:unordered arms run independently and results are keyed by name; order cannot affect them
 	for name, cfg := range goldenAsyncArms() {
 		e, err := flux.New(flux.WithConfig(cfg))
 		if err != nil {
@@ -136,9 +138,11 @@ func TestGoldenAsyncConvergence(t *testing.T) {
 		t.Fatalf("reading golden file (regenerate with -update): %v", err)
 	}
 	want := make(map[string][]string)
+	//fluxvet:allow strictdecode golden file is a free-form name->curve map with no fixed schema to enforce
 	if err := json.Unmarshal(blob, &want); err != nil {
 		t.Fatalf("parsing %s: %v", goldenAsyncPath, err)
 	}
+	//fluxvet:unordered per-arm assertions; only the t.Errorf interleaving varies with order
 	for name, gotCurve := range got {
 		wantCurve, ok := want[name]
 		if !ok {

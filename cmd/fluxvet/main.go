@@ -3,7 +3,16 @@
 //
 //	fluxvet ./...                  # whole module, from the module root
 //	fluxvet ./internal/fed         # one package
+//	fluxvet -tests=false ./...     # skip _test.go files
+//	fluxvet -json ./...            # machine-readable findings
 //	fluxvet -list                  # describe the analyzers
+//
+// Analysis is interprocedural: requested packages are checked together with
+// their module-local dependencies, in dependency order, so cross-package
+// contracts (hot-path allocation reachability, transitive wall-clock and
+// global-rand taint) hold across the whole tree. Test files are analyzed by
+// default — the determinism contract covers the suite too — and can be
+// excluded with -tests=false.
 //
 // It exits non-zero if any finding survives suppression filtering, so CI
 // can enforce a clean tree. Run it from inside the module to check (it also
@@ -25,8 +34,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (including suppressed ones) on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: fluxvet [-list] [-only a,b] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fluxvet [-list] [-only a,b] [-tests=false] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,24 +85,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	loader.IncludeTests = *tests
 	pkgs, err := loader.LoadPatterns(cwd, patterns...)
 	if err != nil {
 		fatal(err)
 	}
+	findings, err := loader.Analyze(pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
 
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunPackage(pkg, suite)
+	unsuppressed := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			unsuppressed++
+		}
+	}
+	if *jsonOut {
+		b, err := analysis.JSONReport(loader.Fset(), findings, cwd)
 		if err != nil {
 			fatal(err)
 		}
-		for _, d := range diags {
-			fmt.Println(d.Format(loader.Fset()))
-			findings++
+		os.Stdout.Write(b)
+	} else {
+		for _, f := range findings {
+			if !f.Suppressed {
+				fmt.Println(f.Format(loader.Fset()))
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "fluxvet: %d finding(s)\n", findings)
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "fluxvet: %d finding(s)\n", unsuppressed)
 		os.Exit(1)
 	}
 }

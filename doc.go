@@ -43,10 +43,16 @@
 // scores, expert hidden states, softmax scratch). A workspace is created
 // once per worker, grows to the model's shapes on first use, and is reused
 // for every subsequent sequence, so steady-state training performs zero
-// heap allocations; an allocation guard in CI (cmd/benchguard over the
-// committed bench/BENCH_round.json snapshot) keeps it that way. Workspaces
-// are single-goroutine state: never share one across workers, and never
-// hold references into a workspace across a pass that reuses it. All
+// heap allocations. That contract is pinned three ways: dynamically by
+// AllocsPerRun tests and the CI allocation guard (cmd/benchguard over the
+// committed bench/BENCH_round.json snapshot), and statically by fluxvet's
+// hotalloc analyzer — the workspace entry points carry //fluxvet:hotpath
+// annotations, and any allocating construct reachable from one (through
+// the whole module's call graph) fails the lint before it ever reaches a
+// benchmark. Workspaces are single-goroutine state: never share one across
+// workers, and never hold references into a workspace across a pass that
+// reuses it — the wsalias analyzer rejects code that stores a
+// workspace-returned *tensor.Matrix anywhere that outlives the call. All
 // workspace-backed kernels preserve the reference implementations'
 // floating-point accumulation order exactly, so the fast path is
 // bit-identical to the naive one — see README "Performance".
@@ -84,18 +90,25 @@
 // rejects active aggregation specs (its wire protocol is synchronous).
 //
 // The determinism contract is enforced statically. cmd/fluxvet (backed by
-// internal/analysis, dependency-free) lints the tree in CI with five
-// analyzers: maporder (no map-order iteration into results), wallclock (no
-// time.Now/Since/Sleep in simulation code — simulated time flows through
-// internal/simtime), globalrand (no process-global or wall-clock-seeded
-// math/rand; split streams from the experiment seed), strictdecode (config
-// JSON must be decoded with DisallowUnknownFields, as LoadScenario does),
-// and sharedwrite (ForEachParticipant/ForEachOf callbacks write only
-// participant-indexed state). Deliberate exceptions are annotated in source
-// with //fluxvet:unordered <reason> or //fluxvet:allow <analyzer> <reason>;
-// an empty reason or a stale suppression is itself a finding. Run it
-// locally with `go run ./cmd/fluxvet ./...`; see README "Determinism
-// contract".
+// internal/analysis, dependency-free) lints the tree in CI — test files
+// included — with seven analyzers: maporder (no map-order iteration into
+// results), wallclock (no time.Now/Since/Sleep in simulation code —
+// simulated time flows through internal/simtime), globalrand (no
+// process-global or wall-clock-seeded math/rand; split streams from the
+// experiment seed), strictdecode (config JSON must be decoded with
+// DisallowUnknownFields, as LoadScenario does), sharedwrite
+// (ForEachParticipant/ForEachOf callbacks write only participant-indexed
+// state), hotalloc (no allocating constructs reachable from a
+// //fluxvet:hotpath root), and wsalias (no retaining workspace-returned
+// *tensor.Matrix values). wallclock and globalrand are transitive: the
+// analysis loads requested packages with their module-local dependencies
+// in dependency order, exports per-function facts, and propagates them
+// over the static call graph, so a wrapper around time.Now is flagged at
+// every engine-side call site. Deliberate exceptions are annotated in
+// source with //fluxvet:unordered <reason> or
+// //fluxvet:allow <analyzer> <reason>; an empty reason or a stale
+// suppression is itself a finding. Run it locally with
+// `go run ./cmd/fluxvet ./...`; see README "Determinism contract".
 //
 // Per-round accuracy, simulated time, and wire traffic stream out through
 // RoundEvent callbacks (WithRoundEvents). Serve and Join run the

@@ -149,6 +149,7 @@ func TestInactiveFleetIsStrictSuperset(t *testing.T) {
 			t.Fatalf("round %d differs under uniform fleet: score %v/%v uplink %v/%v sim %v/%v",
 				a.Round, a.Score, b.Score, a.UplinkBytes, b.UplinkBytes, a.SimHours, b.SimHours)
 		}
+		//fluxvet:unordered per-phase equality checks; order cannot affect the verdict
 		for phase, v := range a.Phases {
 			if b.Phases[phase] != v {
 				t.Fatalf("round %d phase %q differs: %v vs %v", a.Round, phase, v, b.Phases[phase])

@@ -76,6 +76,83 @@ func Run(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
 	}
 }
 
+// RunDir loads the fixture module rooted at dir — the directory must hold
+// its own go.mod — analyzes every package under it with the given analyzer
+// set, and compares the unsuppressed findings against the `// want`
+// comments of every fixture file. Unlike Run, this exercises the full
+// cross-package pipeline: dependency-ordered package iteration, fact
+// export/import, and the module call graph, so fixtures can plant a
+// violation several packages away from the contract that forbids it. With
+// includeTests, _test.go files are loaded and their want comments counted.
+func RunDir(t *testing.T, dir string, includeTests bool, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	loader.IncludeTests = includeTests
+	pkgs, err := loader.LoadPatterns(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", dir, err)
+	}
+	findings, err := loader.Analyze(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing fixture module %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, name := range fixtureTree(t, dir, includeTests) {
+		wants = append(wants, parseWants(t, name)...)
+	}
+
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		pos := loader.Fset().Position(f.Pos)
+		text := f.Analyzer + ": " + f.Message
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(text) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s", pos, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixtureTree lists every Go file under the fixture module root,
+// optionally including _test.go files.
+func fixtureTree(t *testing.T, dir string, includeTests bool) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		if !includeTests && strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		out = append(out, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixture module: %v", err)
+	}
+	return out
+}
+
 // fixtureFiles lists the non-test Go files of the fixture directory.
 func fixtureFiles(t *testing.T, dir string) []string {
 	t.Helper()
@@ -101,7 +178,8 @@ func parseWants(t *testing.T, name string) []*expectation {
 		t.Fatalf("reading fixture: %v", err)
 	}
 	var out []*expectation
-	for i, line := range strings.Split(string(data), "\n") {
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
 		_, after, ok := strings.Cut(line, "// want ")
 		if !ok {
 			continue
@@ -109,10 +187,14 @@ func parseWants(t *testing.T, name string) []*expectation {
 		// A line holding nothing but the want comment states an expectation
 		// for the NEXT line — used for findings that land on //fluxvet:
 		// directive lines, where a trailing comment would be parsed as the
-		// suppression's reason.
+		// suppression's reason. Blank `//` separator lines (gofmt inserts
+		// them before directives in doc comments) are stepped over.
 		target := i + 1
 		if strings.HasPrefix(strings.TrimSpace(line), "// want ") {
 			target = i + 2
+			for target-1 < len(lines) && strings.TrimSpace(lines[target-1]) == "//" {
+				target++
+			}
 		}
 		rest := strings.TrimSpace(after)
 		for rest != "" {

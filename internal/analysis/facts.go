@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+)
+
+// A Fact is a piece of analyzer-derived knowledge about a function, exported
+// while analyzing the package that declares it and importable by every
+// later-analyzed package. The mechanism mirrors golang.org/x/tools
+// go/analysis object facts, restricted to functions (the only object kind
+// the fluxvet suite needs): an analyzer exports facts bottom-up — the runner
+// visits packages in dependency order, so a fact about a callee is always
+// available before any caller is analyzed — and a module-level pass can then
+// combine facts across the whole tree (reachability, taint propagation).
+//
+// Facts are namespaced by analyzer: one analyzer never observes another's.
+type Fact interface {
+	// AFact marks the type as a fact; it has no behavior.
+	AFact()
+}
+
+// A FuncKey canonically names a function or method across type-check views.
+// Two loads of the same package (say, the pure view a dependent imports and
+// the test-augmented view the runner analyzes) produce distinct
+// *types.Func objects for one declaration; keying facts and call-graph
+// nodes by this string unifies them.
+//
+// The format is "pkgpath.Func" for package functions and
+// "pkgpath.Type.Method" for methods (pointer receivers are not
+// distinguished from value receivers — Go forbids declaring both).
+type FuncKey string
+
+// KeyOf returns fn's canonical key. Generic instantiations key as their
+// origin declaration.
+func KeyOf(fn *types.Func) FuncKey {
+	fn = fn.Origin()
+	var pkg string
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		name := t.String() // unnamed receiver (interface literal): full syntax
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		return FuncKey(pkg + "." + name + "." + fn.Name())
+	}
+	return FuncKey(pkg + "." + fn.Name())
+}
+
+// factKey identifies one stored fact: which analyzer knows what about whom.
+type factKey struct {
+	analyzer string
+	fn       FuncKey
+}
+
+// factStore holds every exported fact of one analysis run.
+type factStore struct {
+	m map[factKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey]Fact)}
+}
+
+func (s *factStore) export(analyzer string, fn FuncKey, f Fact) {
+	s.m[factKey{analyzer, fn}] = f
+}
+
+func (s *factStore) get(analyzer string, fn FuncKey) (Fact, bool) {
+	f, ok := s.m[factKey{analyzer, fn}]
+	return f, ok
+}
+
+// keys returns the sorted FuncKeys that carry a fact for analyzer, so module
+// passes can iterate facts deterministically.
+func (s *factStore) keys(analyzer string) []FuncKey {
+	var out []FuncKey
+	//fluxvet:unordered keys are collected then sorted before use
+	for k := range s.m {
+		if k.analyzer == analyzer {
+			out = append(out, k.fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+type testFact struct{ n int }
+
+func (*testFact) AFact() {}
+
+// TestFactStoreKeysSorted pins the determinism of fact iteration: module
+// passes walk FactKeys in sorted order, and facts are namespaced per
+// analyzer.
+func TestFactStoreKeysSorted(t *testing.T) {
+	s := newFactStore()
+	s.export("hot", "z/pkg.F", &testFact{1})
+	s.export("hot", "a/pkg.G", &testFact{2})
+	s.export("hot", "m/pkg.T.M", &testFact{3})
+	s.export("other", "a/pkg.G", &testFact{4})
+
+	keys := s.keys("hot")
+	want := []FuncKey{"a/pkg.G", "m/pkg.T.M", "z/pkg.F"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	if f, ok := s.get("other", "a/pkg.G"); !ok || f.(*testFact).n != 4 {
+		t.Fatalf("analyzer namespacing broken: %v %v", f, ok)
+	}
+	if _, ok := s.get("hot", "missing.F"); ok {
+		t.Fatal("got a fact for a function that has none")
+	}
+}
+
+// TestSortByDependenciesChainFixture loads the hotalloc_chain fixture
+// module and checks the analysis order: leaf (no deps) first, then mid,
+// then root — the order that makes a callee's facts available before any
+// caller is analyzed.
+func TestSortByDependenciesChainFixture(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "hotalloc_chain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadPatterns(dir, "./..."); err != nil {
+		t.Fatal(err)
+	}
+	ordered := sortByDependencies(dedupPackages(l.LocalPackages()))
+	idx := make(map[string]int)
+	for i, p := range ordered {
+		idx[p.Path] = i
+	}
+	for _, path := range []string{"chainfix/leaf", "chainfix/mid", "chainfix/root"} {
+		if _, ok := idx[path]; !ok {
+			t.Fatalf("package %s not loaded; got %v", path, idx)
+		}
+	}
+	if !(idx["chainfix/leaf"] < idx["chainfix/mid"] && idx["chainfix/mid"] < idx["chainfix/root"]) {
+		t.Fatalf("dependency order wrong: %v", idx)
+	}
+}

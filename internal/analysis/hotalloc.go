@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc statically enforces the zero-allocation hot-path contract that
+// the workspace refactor established and that AllocsPerRun tests and
+// cmd/benchguard pin dynamically: functions transitively reachable from a
+// declared hot-path root must contain no allocating constructs.
+//
+// A root is declared by annotating a function's doc comment:
+//
+//	// ForwardBackwardWS runs ...
+//	//
+//	//fluxvet:hotpath steady-state training step; must stay 0 allocs/op
+//	func (m *Model) ForwardBackwardWS(...)
+//
+// Reachability follows the module call graph — direct calls, method values,
+// and function values captured by closures — across package boundaries, so
+// an append hidden in a helper two packages away is reported with the chain
+// back to the root. Flagged constructs: make, new, append, composite
+// literals, func literals (closure capture), map writes, string
+// concatenation, and variadic fmt calls (whose arguments are boxed into
+// interfaces). Arguments of panic(...) are exempt — a panicking path is
+// already off the hot path.
+//
+// Grow-on-demand cold branches (workspace warm-up, capacity growth) carry
+// //fluxvet:allow hotalloc <reason>: on an allocation's line it silences
+// that site; on a call's line it prunes the edge, keeping the callee out of
+// the hot set entirely. Unused hotalloc allows outside hot-reachable code
+// are not reported as stale, so package-subset runs stay quiet about cold
+// branches whose roots live elsewhere.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "forbids allocating constructs in functions reachable from //fluxvet:hotpath roots; the zero-alloc contract is checked at lint time, not just bench time",
+	Run:       runHotAlloc,
+	RunModule: runHotAllocModule,
+}
+
+// allocSite is one allocating construct inside a function body.
+type allocSite struct {
+	Pos  token.Pos
+	What string
+}
+
+// hotFact is hotalloc's per-function fact: whether the function is a
+// declared hot-path root (and why), and the allocating constructs its body
+// contains. Exported for every function that is a root or allocates.
+type hotFact struct {
+	Root   bool
+	Reason string
+	Sites  []allocSite
+}
+
+func (*hotFact) AFact() {}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Hotpath directives must live in a function's doc comment.
+		inDoc := make(map[*ast.Comment]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					inDoc[c] = fd
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !isHotpathDirective(c.Text) {
+					continue
+				}
+				fd := inDoc[c]
+				if fd == nil {
+					pass.Reportf(c.Pos(),
+						"misplaced //fluxvet:hotpath; the directive declares a hot-path root and belongs in a function's doc comment")
+					continue
+				}
+				if hotpathReason(c.Text) == "" {
+					pass.Reportf(c.Pos(),
+						"//fluxvet:hotpath needs a reason stating the contract (e.g. \"steady-state training step; 0 allocs/op\")")
+				}
+			}
+		}
+
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn := funcForDecl(pass.TypesInfo, fd)
+			if fn == nil {
+				continue
+			}
+			fact := &hotFact{}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if isHotpathDirective(c.Text) {
+						fact.Root = true
+						fact.Reason = hotpathReason(c.Text)
+					}
+				}
+			}
+			if fd.Body != nil {
+				fact.Sites = allocSites(pass.TypesInfo, fd.Body)
+			}
+			if fact.Root || len(fact.Sites) > 0 {
+				pass.ExportFact(fn, fact)
+			}
+		}
+	}
+	return nil
+}
+
+// allocSites collects every allocating construct in body, skipping
+// arguments of panic calls (cold by construction).
+func allocSites(info *types.Info, body *ast.BlockStmt) []allocSite {
+	// Spans of panic(...) arguments, to exempt.
+	type span struct{ from, to token.Pos }
+	var panicSpans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				for _, arg := range call.Args {
+					panicSpans = append(panicSpans, span{arg.Pos(), arg.End()})
+				}
+			}
+		}
+		return true
+	})
+	inPanic := func(pos token.Pos) bool {
+		for _, s := range panicSpans {
+			if s.from <= pos && pos < s.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	var sites []allocSite
+	add := func(pos token.Pos, what string) {
+		if !inPanic(pos) {
+			sites = append(sites, allocSite{Pos: pos, What: what})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new", "append":
+						add(n.Pos(), b.Name())
+					}
+					return true
+				}
+			}
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Variadic() {
+						add(n.Pos(), "variadic fmt."+fn.Name()+" call")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			add(n.Pos(), "composite literal")
+			return false // its elements are part of the same allocation
+		case *ast.FuncLit:
+			add(n.Pos(), "func literal (closure capture)")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n.X) {
+				add(n.OpPos, "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(info, n.Lhs[0]) {
+				add(n.TokPos, "string concatenation")
+			}
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := typeOf(info, ix.X).Underlying().(*types.Map); isMap {
+						add(ix.Pos(), "map write")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if t := info.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func runHotAllocModule(mp *ModulePass) error {
+	// hotEntry remembers how a function became hot, for chain messages.
+	type hotEntry struct {
+		root FuncKey
+		via  []FuncKey // root ... self, inclusive
+	}
+	hot := make(map[FuncKey]*hotEntry)
+	var queue []FuncKey
+	for _, k := range mp.FactKeys() {
+		f, _ := mp.Fact(k)
+		hf, ok := f.(*hotFact)
+		if !ok || !hf.Root {
+			continue
+		}
+		hot[k] = &hotEntry{root: k, via: []FuncKey{k}}
+		queue = append(queue, k)
+	}
+
+	var hotDecls []*ast.FuncDecl
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		e := hot[k]
+		node := mp.Graph.Node(k)
+		if node == nil {
+			continue // interface method or function outside the analyzed set
+		}
+		hotDecls = append(hotDecls, node.Decl)
+
+		if f, ok := mp.Fact(k); ok {
+			for _, site := range f.(*hotFact).Sites {
+				where := "in hot-path root " + shortFuncKey(e.root)
+				if len(e.via) > 1 {
+					names := make([]string, 0, len(e.via))
+					for _, vk := range e.via {
+						names = append(names, shortFuncKey(vk))
+					}
+					where = "on a hot path (" + strings.Join(names, " → ") + ")"
+				}
+				mp.Reportf(site.Pos,
+					"%s allocates %s; hoist it into the workspace or justify the cold branch with //fluxvet:allow hotalloc <reason>",
+					site.What, where)
+			}
+		}
+
+		for _, edge := range node.Out {
+			if mp.Graph.Node(edge.Callee) == nil {
+				continue // std or dynamic leaf; its call-site costs are flagged above
+			}
+			if _, seen := hot[edge.Callee]; seen {
+				continue
+			}
+			if mp.Suppressed(edge.Pos) {
+				continue // cold branch pruned by //fluxvet:allow hotalloc
+			}
+			hot[edge.Callee] = &hotEntry{
+				root: e.root,
+				via:  append(append([]FuncKey(nil), e.via...), edge.Callee),
+			}
+			queue = append(queue, edge.Callee)
+		}
+	}
+
+	// hotalloc allows outside hot-reachable code are not stale: with a
+	// package subset loaded, the roots that reach them may simply not be in
+	// view.
+	mp.ExemptStale(func(pos token.Pos) bool {
+		for _, fd := range hotDecls {
+			if fd.Pos() <= pos && pos < fd.End() {
+				return false
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "hotalloc"), "repro/internal/hotalloc", analysis.HotAlloc)
+}
+
+// TestHotAllocChain is the seeded cross-package regression: the fixture is
+// its own module where root declares the hot path, mid is a clean hop, and
+// leaf plants an append two packages away. The finding must surface at the
+// leaf line with the chain back to the root — proving facts and the call
+// graph flow through dependency-ordered analysis.
+func TestHotAllocChain(t *testing.T) {
+	analysistest.RunDir(t, analysistest.Fixture(t, "hotalloc_chain"), false,
+		[]*analysis.Analyzer{analysis.HotAlloc})
+}

@@ -22,6 +22,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// forTest marks a test view: either the package re-checked with its
+	// in-package _test.go files merged in, or an external _test package
+	// (Path then carries a "_test" suffix). Importers always resolve to the
+	// pure view; test views exist only to be analyzed.
+	forTest bool
 }
 
 // A Loader type-checks packages from source using only the standard
@@ -33,11 +39,19 @@ type Package struct {
 // dependencies — golang.org/x/tools/go/packages is not available — and the
 // whole tree plus its std closure checks in a few seconds.
 type Loader struct {
-	fset    *token.FileSet
-	ctx     build.Context
-	modules []moduleRoot // sorted longest-path-first
-	cache   map[string]*Package
-	loading map[string]bool
+	// IncludeTests makes LoadPatterns also type-check _test.go files: each
+	// matched package is re-checked with its in-package test files merged
+	// in (replacing the pure view in the returned set), and external test
+	// packages load under the import path + "_test". Set it before the
+	// first LoadPatterns call.
+	IncludeTests bool
+
+	fset      *token.FileSet
+	ctx       build.Context
+	modules   []moduleRoot // sorted longest-path-first
+	cache     map[string]*Package
+	testViews map[string]*Package // keyed by Package.Path of the view
+	loading   map[string]bool
 }
 
 type moduleRoot struct {
@@ -58,11 +72,12 @@ func NewLoader(dir string) (*Loader, error) {
 	ctx := build.Default
 	ctx.CgoEnabled = false // keep every file list pure Go; analyzers never need cgo views
 	return &Loader{
-		fset:    token.NewFileSet(),
-		ctx:     ctx,
-		modules: mods,
-		cache:   make(map[string]*Package),
-		loading: make(map[string]bool),
+		fset:      token.NewFileSet(),
+		ctx:       ctx,
+		modules:   mods,
+		cache:     make(map[string]*Package),
+		testViews: make(map[string]*Package),
+		loading:   make(map[string]bool),
 	}, nil
 }
 
@@ -213,14 +228,33 @@ func (l *Loader) loadDir(dir, asPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("listing %s: %w", dir, err)
 	}
+	files, err := l.parseFiles(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.checkFiles(dir, asPath, files)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[asPath] = pkg
+	return pkg, nil
+}
+
+// parseFiles parses the named files of dir into the shared file set.
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
 	var files []*ast.File
-	for _, name := range bp.GoFiles {
+	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 	}
+	return files, nil
+}
+
+// checkFiles type-checks a file list as the package asPath.
+func (l *Loader) checkFiles(dir, asPath string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -245,9 +279,7 @@ func (l *Loader) loadDir(dir, asPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", asPath, err)
 	}
-	pkg := &Package{Path: asPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
-	l.cache[asPath] = pkg
-	return pkg, nil
+	return &Package{Path: asPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // LoadDir loads the single package in dir under the given import path.
@@ -303,9 +335,93 @@ func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Package, error
 		if err != nil {
 			return nil, err
 		}
+		if !l.IncludeTests {
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		merged, xtest, err := l.loadTestViews(d, path, pkg)
+		if err != nil {
+			return nil, err
+		}
+		if merged != nil {
+			pkg = merged
+		}
 		pkgs = append(pkgs, pkg)
+		if xtest != nil {
+			pkgs = append(pkgs, xtest)
+		}
 	}
 	return pkgs, nil
+}
+
+// loadTestViews type-checks the test files of the package at dir: a merged
+// view of the package's own files plus its in-package _test.go files
+// (checked under the same import path — importers never see it), and the
+// external test package, checked as path+"_test". Either may be nil when
+// the package has no test files of that kind.
+func (l *Loader) loadTestViews(dir, path string, pure *Package) (merged, xtest *Package, err error) {
+	if tv, ok := l.testViews[path]; ok {
+		return tv, l.testViews[path+"_test"], nil
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("listing %s: %w", dir, err)
+	}
+	if len(bp.TestGoFiles) > 0 {
+		testFiles, err := l.parseFiles(dir, bp.TestGoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		merged, err = l.checkFiles(dir, path, append(append([]*ast.File(nil), pure.Files...), testFiles...))
+		if err != nil {
+			return nil, nil, err
+		}
+		merged.forTest = true
+		l.testViews[path] = merged
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		xtestFiles, err := l.parseFiles(dir, bp.XTestGoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		xtest, err = l.checkFiles(dir, path+"_test", xtestFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		xtest.forTest = true
+		l.testViews[path+"_test"] = xtest
+	}
+	return merged, xtest, nil
+}
+
+// LocalPackages returns every loaded package that belongs to a known module
+// (i.e. everything except the std closure), with pure views replaced by
+// their test-augmented views where those exist, sorted by import path. This
+// is the analysis set: requested packages plus the module-local
+// dependencies they pulled in.
+func (l *Loader) LocalPackages() []*Package {
+	var out []*Package
+	//fluxvet:unordered packages are collected then sorted before use
+	for path, p := range l.cache {
+		if _, ok := l.moduleDir(path); !ok {
+			continue
+		}
+		if tv := l.testViews[path]; tv != nil {
+			continue // the test view below supersedes the pure view
+		}
+		out = append(out, p)
+	}
+	for _, p := range l.testViews {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Analyze runs analyzers over every loaded module-local package, reporting
+// per-package findings only for the requested ones. See AnalyzePackages.
+func (l *Loader) Analyze(requested []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	return AnalyzePackages(l.LocalPackages(), requested, analyzers)
 }
 
 // walkPackages finds every package directory under root, skipping the

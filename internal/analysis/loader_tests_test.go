@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestAnalyzeIncludesTestFiles: the testfiles fixture module is clean in
+// its non-test files; both planted violations live in _test.go files — one
+// in the in-package test view, one in the external test package — and must
+// be found when test loading is on.
+func TestAnalyzeIncludesTestFiles(t *testing.T) {
+	analysistest.RunDir(t, analysistest.Fixture(t, "testfiles"), true,
+		[]*analysis.Analyzer{analysis.MapOrder})
+}
+
+// TestAnalyzeExcludesTestFiles: with -tests=false semantics the same
+// fixture produces zero findings, since the _test.go files are never
+// loaded.
+func TestAnalyzeExcludesTestFiles(t *testing.T) {
+	analysistest.RunDir(t, analysistest.Fixture(t, "testfiles"), false,
+		[]*analysis.Analyzer{analysis.MapOrder})
+}

@@ -2,9 +2,11 @@ package analysis_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
 )
 
 // TestSuppressionForIdleAnalyzerNotStale pins a filtering subtlety: a
@@ -37,10 +39,57 @@ func TestSuppressionForIdleAnalyzerNotStale(t *testing.T) {
 	}
 }
 
+// TestSuppressEdgeCases runs the full suite over the suppress_edge fixture
+// module: a finding double-covered by a file-wide and a same-line allow
+// marks both as used (neither is stale), unknown and justification-less
+// directives are flagged, and a truly stale allow is reported.
+func TestSuppressEdgeCases(t *testing.T) {
+	analysistest.RunDir(t, analysistest.Fixture(t, "suppress_edge"), false, analysis.All())
+}
+
+// TestSubsetRunKeepsIdleSuppressions pins `-only` semantics over the same
+// fixture: with only maporder running, the wallclock allows go unused but
+// must not be reported stale, while directive-hygiene findings and the
+// stale maporder allow still fire.
+func TestSubsetRunKeepsIdleSuppressions(t *testing.T) {
+	dir := analysistest.Fixture(t, "suppress_edge")
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := loader.Analyze(pkgs, []*analysis.Analyzer{analysis.MapOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staleMapOrder, unknown, invalid int
+	for _, f := range findings {
+		msg := f.Message
+		switch {
+		case strings.Contains(msg, "no wallclock finding here"):
+			t.Errorf("wallclock allow reported stale in a maporder-only run: %s", f.Format(loader.Fset()))
+		case strings.Contains(msg, "no maporder finding here"):
+			staleMapOrder++
+		case strings.Contains(msg, "unknown fluxvet directive"):
+			unknown++
+		case strings.Contains(msg, "needs an analyzer name and a written justification"):
+			invalid++
+		default:
+			t.Errorf("unexpected finding: %s", f.Format(loader.Fset()))
+		}
+	}
+	if staleMapOrder != 1 || unknown != 1 || invalid != 1 {
+		t.Fatalf("got stale=%d unknown=%d invalid=%d, want 1 each", staleMapOrder, unknown, invalid)
+	}
+}
+
 // TestAllOrderStable pins the suite listing: names are unique and the
 // order deterministic, since CI output diffs depend on it.
 func TestAllOrderStable(t *testing.T) {
-	want := []string{"maporder", "wallclock", "globalrand", "strictdecode", "sharedwrite"}
+	want := []string{"maporder", "wallclock", "globalrand", "strictdecode", "sharedwrite", "hotalloc", "wsalias"}
 	got := analysis.All()
 	if len(got) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(got), len(want))

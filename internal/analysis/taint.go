@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// taintFact marks a function as nondeterministic at its source: its body
+// (not its callees) reads the wall clock or draws from the process-global
+// math/rand stream. wallclock and globalrand export it from their
+// per-package passes — only for unsuppressed sites, so a justified use does
+// not smear across the call graph — and their shared module pass propagates
+// it to callers.
+type taintFact struct {
+	Origin token.Pos // the underlying time.Now / rand.Intn / ... site
+	What   string    // e.g. "time.Now" or "math/rand.Intn"
+}
+
+func (*taintFact) AFact() {}
+
+// isCmdPackage reports whether path names a command package, which the
+// wallclock contract exempts (terminal progress reporting is I/O surface,
+// not simulation).
+func isCmdPackage(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
+// runTaintModule propagates taint facts up the call graph and reports
+// every call or reference edge that reaches a tainted function. The walk
+// stops at a //fluxvet:allow for the analyzer on the edge's line (the
+// caller has justified depending on the callee) and, when skipCmd is set,
+// at command packages.
+//
+// action and advice shape the message: "call to X <action> (origin); <advice>".
+func runTaintModule(mp *ModulePass, action, advice string, skipCmd bool) error {
+	type entry struct {
+		origin *taintFact
+		route  []FuncKey // from this function down to the taint source
+	}
+	tainted := make(map[FuncKey]*entry)
+	var queue []FuncKey
+	for _, k := range mp.FactKeys() {
+		f, _ := mp.Fact(k)
+		tf, ok := f.(*taintFact)
+		if !ok {
+			continue
+		}
+		tainted[k] = &entry{origin: tf, route: []FuncKey{k}}
+		queue = append(queue, k)
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		e := tainted[k]
+		for _, edge := range mp.Graph.Callers(k) {
+			caller := mp.Graph.Node(edge.Caller)
+			if caller == nil {
+				continue
+			}
+			if skipCmd && isCmdPackage(caller.Pkg.Path) {
+				continue
+			}
+			if mp.Suppressed(edge.Pos) {
+				continue
+			}
+			verb := "call to"
+			if edge.Ref {
+				verb = "reference to"
+			}
+			via := make([]string, 0, len(e.route))
+			for _, rk := range e.route {
+				via = append(via, shortFuncKey(rk))
+			}
+			origin := mp.Fset.Position(e.origin.Origin)
+			mp.Reportf(edge.Pos, "%s %s %s (%s at %s:%d); %s",
+				verb, strings.Join(via, " → "), action,
+				e.origin.What, filepath.Base(origin.Filename), origin.Line, advice)
+			if _, ok := tainted[edge.Caller]; !ok {
+				tainted[edge.Caller] = &entry{
+					origin: e.origin,
+					route:  append([]FuncKey{edge.Caller}, e.route...),
+				}
+				queue = append(queue, edge.Caller)
+			}
+		}
+	}
+	return nil
+}

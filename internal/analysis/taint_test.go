@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWallClockTransitive(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "wallclock_trans"), "repro/internal/trans", analysis.WallClock)
+}
+
+func TestGlobalRandTransitive(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "globalrand_trans"), "repro/internal/grand", analysis.GlobalRand)
+}

@@ -1,0 +1,31 @@
+// Package grand exercises transitive global-rand taint: a draw from the
+// process-global math/rand stream taints callers through the call graph.
+package grand
+
+import "math/rand"
+
+func draw() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the process-global source`
+}
+
+func pick() int {
+	return draw() // want `call to grand\.draw draws from the process-global math/rand source \(math/rand\.Intn at grand\.go:\d+\)`
+}
+
+func sample() int {
+	return pick() // want `call to grand\.pick → grand\.draw draws from the process-global math/rand source`
+}
+
+var _ = sample
+
+// seeded uses the approved shape — an explicitly seeded stream — and must
+// not taint anyone.
+func seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+func consumer() int {
+	return seeded(7)
+}
+
+var _ = consumer

@@ -1,0 +1,96 @@
+// Package hotalloc exercises the hot-path allocation analyzer: root
+// declaration, in-root and reachable-callee sites, the panic exemption,
+// allow-based site silencing and edge pruning, directive hygiene, and the
+// not-stale exemption for allows in cold code.
+package hotalloc
+
+import "fmt"
+
+type state struct {
+	buf  []float64
+	tags map[string]int
+}
+
+// Step is the fixture's steady-state kernel: every allocating construct in
+// its body or its hot-reachable callees must be flagged.
+//
+//fluxvet:hotpath fixture steady-state kernel; must stay 0 allocs/op
+func Step(s *state, x float64) {
+	s.buf = append(s.buf, x) // want `append allocates in hot-path root hotalloc\.Step`
+	helper(s)
+	warmup(s) //fluxvet:allow hotalloc warm-up branch pruned at the edge; runs once per state lifetime
+}
+
+// helper is hot only by reachability from Step.
+func helper(s *state) {
+	_ = fmt.Sprintf("%d", len(s.buf)) // want `variadic fmt\.Sprintf call allocates on a hot path \(hotalloc\.Step → hotalloc\.helper\)`
+}
+
+// warmup allocates freely: the Step -> warmup edge is pruned by the allow
+// on the call line, so nothing here is reported.
+func warmup(s *state) {
+	s.buf = make([]float64, 0, 64)
+	s.tags = map[string]int{}
+}
+
+// Book exercises the map-write and string-concatenation sites.
+//
+//fluxvet:hotpath fixture bookkeeping kernel; exercises map and string sites
+func Book(s *state, k string) {
+	s.tags[k] = 1 // want `map write allocates in hot-path root hotalloc\.Book`
+	k += "!"      // want `string concatenation allocates in hot-path root hotalloc\.Book`
+	_ = k
+}
+
+// Spawn exercises the closure-capture site.
+//
+//fluxvet:hotpath fixture closure kernel
+func Spawn() func() {
+	return func() {} // want `func literal \(closure capture\) allocates in hot-path root hotalloc\.Spawn`
+}
+
+// Checked exercises the panic exemption: a panicking path is already off
+// the hot path, so the fmt.Sprintf argument is not reported.
+//
+//fluxvet:hotpath fixture guard kernel; panic arguments stay exempt
+func Checked(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n))
+	}
+}
+
+// GrowHot shows the sanctioned shape: the grow-on-demand cold branch is
+// silenced at the allocation site with a written reason.
+//
+//fluxvet:hotpath fixture grow kernel
+func GrowHot(s *state) {
+	if cap(s.buf) == 0 {
+		//fluxvet:allow hotalloc grow-on-demand: allocates only until capacity is reached
+		s.buf = make([]float64, 0, 64)
+	}
+	s.buf = s.buf[:0]
+}
+
+// coldOnly is unreachable from any root; its allow must NOT be reported
+// stale — with a package subset loaded, the root that reaches a cold branch
+// may simply not be in view.
+func coldOnly() []int {
+	//fluxvet:allow hotalloc never hot in this fixture; kept to prove cold allows are not stale
+	return make([]int, 8)
+}
+
+var _ = coldOnly
+
+// BadRoot lacks a stated contract.
+//
+// want `//fluxvet:hotpath needs a reason stating the contract`
+//
+//fluxvet:hotpath
+func BadRoot() {}
+
+// want `misplaced //fluxvet:hotpath; the directive declares a hot-path root and belongs in a function's doc comment`
+//
+//fluxvet:hotpath wandering directive attached to no function
+var misplaced int
+
+var _ = misplaced

@@ -1,0 +1,3 @@
+module chainfix
+
+go 1.24

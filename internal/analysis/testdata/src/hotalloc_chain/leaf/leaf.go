@@ -1,0 +1,14 @@
+// Package leaf holds the planted violation of the chain fixture: an append
+// in a helper that has no idea it sits on a hot path.
+package leaf
+
+// Sum folds buf through a scratch copy — the copy is the planted
+// allocation.
+func Sum(buf []float64) float64 {
+	scratch := append([]float64(nil), buf...) // want `append allocates on a hot path \(root\.Train → mid\.Reduce → leaf\.Sum\)`
+	var s float64
+	for _, x := range scratch {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+// Package mid is the clean middle hop of the chain fixture: it allocates
+// nothing itself, so reachability — not package-local syntax — is what
+// carries the contract to chainfix/leaf.
+package mid
+
+import "chainfix/leaf"
+
+// Reduce hands the buffer to the leaf helper.
+func Reduce(buf []float64) float64 {
+	return leaf.Sum(buf)
+}

@@ -1,0 +1,13 @@
+// Package root declares the hot-path root of the chain fixture. The
+// allocation it must surface lives two packages away, in chainfix/leaf —
+// the finding is expected there, with the chain back to Train.
+package root
+
+import "chainfix/mid"
+
+// Train is the chain fixture's hot entry point.
+//
+//fluxvet:hotpath chain fixture: a planted append two packages away must surface with this root in its chain
+func Train(buf []float64) float64 {
+	return mid.Reduce(buf)
+}

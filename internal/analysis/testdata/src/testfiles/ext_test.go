@@ -1,0 +1,19 @@
+package tf_test
+
+import (
+	"testing"
+
+	"testfilesfix"
+)
+
+// TestKeys iterates from the external test package; the violation loads
+// under the path + "_test" view.
+func TestKeys(t *testing.T) {
+	s := 0
+	for _, v := range tf.Counts { // want `map iterated in randomized order`
+		s += v
+	}
+	if s != 3 || len(tf.Keys()) != 2 {
+		t.Fatal(s)
+	}
+}

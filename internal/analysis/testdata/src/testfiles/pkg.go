@@ -1,0 +1,16 @@
+// Package tf is clean on purpose: every violation in this fixture lives in
+// a _test.go file, so findings appear exactly when the loader includes test
+// views and disappear with -tests=false.
+package tf
+
+// Counts is iterated by the tests.
+var Counts = map[string]int{"a": 1, "b": 2}
+
+// Keys collects the map keys (collect-only append; auto-allowed order).
+func Keys() []string {
+	var out []string
+	for k := range Counts {
+		out = append(out, k)
+	}
+	return out
+}

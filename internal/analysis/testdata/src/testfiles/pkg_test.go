@@ -1,0 +1,15 @@
+package tf
+
+import "testing"
+
+// TestSum iterates the map with a value-dependent body — a maporder
+// violation that only exists in the in-package test view.
+func TestSum(t *testing.T) {
+	s := 0
+	for _, v := range Counts { // want `map iterated in randomized order`
+		s += v
+	}
+	if s != 3 {
+		t.Fatal(s)
+	}
+}

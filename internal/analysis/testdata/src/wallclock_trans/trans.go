@@ -1,0 +1,46 @@
+// Package trans exercises transitive wall-clock taint: a function whose
+// body reads the clock taints every caller through the call graph, and a
+// justified site stops the taint at its source.
+package trans
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func round() time.Time {
+	return stamp() // want `call to trans\.stamp reads the wall clock \(time\.Now at trans\.go:\d+\)`
+}
+
+func experiment() time.Time {
+	return round() // want `call to trans\.round → trans\.stamp reads the wall clock`
+}
+
+var _ = experiment
+
+// justified reads real time with a written reason; the suppression stops
+// the taint at its source, so harness is clean.
+func justified() time.Time {
+	//fluxvet:allow wallclock fixture: a justified real-time read must not taint its callers
+	return time.Now()
+}
+
+func harness() time.Time {
+	return justified()
+}
+
+var _ = harness
+
+// accepted depends on the tainted stamp but justifies the edge itself; the
+// walk stops there, so meta is clean.
+func accepted() time.Time {
+	//fluxvet:allow wallclock fixture: this caller accepts the real-time dependency at the edge
+	return stamp()
+}
+
+func meta() time.Time {
+	return accepted()
+}
+
+var _ = meta

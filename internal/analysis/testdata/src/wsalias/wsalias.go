@@ -1,0 +1,48 @@
+// Package wsalias exercises the workspace-aliasing analyzer: *Matrix
+// values returned by *WS methods must not be retained past the call that
+// produced them.
+package wsalias
+
+// Matrix stands in for tensor.Matrix; wsalias matches any named type
+// called Matrix.
+type Matrix struct{ Data []float64 }
+
+type ws struct{ out Matrix }
+
+// OutWS returns the workspace-owned output buffer, valid until the next
+// call.
+func (w *ws) OutWS() *Matrix { return &w.out }
+
+type holder struct{ m *Matrix }
+
+var global *Matrix
+
+func retain(w *ws, h *holder, byID map[int]*Matrix, ch chan *Matrix, list []*Matrix) []*Matrix {
+	m := w.OutWS()
+	_ = m.Data             // reading the alias is fine
+	h.m = w.OutWS()        // want `\*Matrix from OutWS aliases workspace storage and must not be stored into a struct field`
+	global = m             // want `stored into a global`
+	byID[0] = m            // want `stored into a map`
+	list[0] = m            // want `stored into a slice element`
+	ch <- m                // want `sent on a channel`
+	return append(list, m) // want `appended to a slice`
+}
+
+func leak(w *ws) *Matrix {
+	return w.OutWS() // want `must not be returned from non-WS function leak`
+}
+
+// ChainWS extends the *WS convention, so handing the alias onward is legal:
+// its own callers inherit the contract.
+func ChainWS(w *ws) *Matrix {
+	return w.OutWS()
+}
+
+// pinned shows a justified retention: the suppression needs (and has) a
+// written reason, and the finding is filtered rather than reported.
+func pinned(w *ws) {
+	//fluxvet:allow wsalias fixture: this workspace is never reused after the store, so the alias cannot go stale
+	global = w.OutWS()
+}
+
+var _ = pinned

@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"go/ast"
-	"strings"
+	"go/types"
 )
 
 // WallClock forbids reading or waiting on the wall clock in simulation and
@@ -11,15 +11,23 @@ import (
 // and seed; a stray time.Now or time.Sleep makes timing (and anything
 // derived from it) differ between runs and machines.
 //
+// The check is transitive: a function whose body reads the wall clock
+// (including capturing time.Now as a value) taints every caller through the
+// call graph, so a wrapper in another package is flagged at each engine-side
+// call site, not just at the wrapper. Justifying the underlying site with
+// //fluxvet:allow stops the taint at its source; an allow on a call line
+// stops it at that edge.
+//
 // Command-line packages (…/cmd/…) are exempt — progress reporting on a
 // terminal is I/O surface, not simulation. Real I/O deadlines (socket
 // read/write timeouts in the TCP transport) and real-time test-harness
 // bounds are legitimate wall-clock uses; they carry
 // //fluxvet:allow wallclock <reason> justifications.
 var WallClock = &Analyzer{
-	Name: "wallclock",
-	Doc:  "forbids time.Now/Since/Sleep and friends outside internal/simtime; simulated experiments must not read the wall clock",
-	Run:  runWallClock,
+	Name:      "wallclock",
+	Doc:       "forbids time.Now/Since/Sleep and friends outside internal/simtime, transitively through the call graph; simulated experiments must not read the wall clock",
+	Run:       runWallClock,
+	RunModule: runWallClockModule,
 }
 
 // wallClockFuncs are the package time functions that observe or wait on
@@ -38,32 +46,63 @@ var wallClockFuncs = map[string]bool{
 }
 
 func runWallClock(pass *Pass) error {
-	path := pass.Pkg.Path()
-	if strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/") {
+	if isCmdPackage(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		callFun := markCallFuns(f)
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			var enclosing *types.Func
+			if isFunc {
+				enclosing = funcForDecl(pass.TypesInfo, fd)
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				if !wallClockFuncs[obj.Name()] {
+					return true
+				}
+				if callFun[sel] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; simulated time must flow through internal/simtime (real I/O deadlines: //fluxvet:allow wallclock <reason>)",
+						obj.Name())
+				} else {
+					pass.Reportf(sel.Pos(),
+						"time.%s captured as a value reads the wall clock at every call; simulated time must flow through internal/simtime",
+						obj.Name())
+				}
+				if enclosing != nil && !pass.SuppressedAt(sel.Pos()) {
+					pass.ExportFact(enclosing, &taintFact{Origin: sel.Pos(), What: "time." + obj.Name()})
+				}
 				return true
-			}
-			obj := pass.TypesInfo.Uses[sel.Sel]
-			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
-				return true
-			}
-			if !wallClockFuncs[obj.Name()] {
-				return true
-			}
-			pass.Reportf(call.Pos(),
-				"time.%s reads the wall clock; simulated time must flow through internal/simtime (real I/O deadlines: //fluxvet:allow wallclock <reason>)",
-				obj.Name())
-			return true
-		})
+			})
+		}
 	}
 	return nil
+}
+
+func runWallClockModule(mp *ModulePass) error {
+	return runTaintModule(mp,
+		"reads the wall clock",
+		"simulated time must flow through internal/simtime", true)
+}
+
+// markCallFuns returns the set of expressions occupying a call's function
+// position, so analyzers can distinguish f(x) from a value reference to f.
+func markCallFuns(f *ast.File) map[ast.Expr]bool {
+	out := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			out[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	return out
 }

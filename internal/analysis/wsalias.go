@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WSAlias enforces the workspace-aliasing contract: a *Matrix returned by a
+// *WS method (ForwardWS, LayerInputWS, ...) aliases workspace storage that
+// the next call overwrites. Such a value may be read, passed onward, or
+// copied out (CloneInto), but it must not outlive the call that produced
+// it: storing it into a struct field, a global, a map or slice element, a
+// channel, or appending it to a slice retains a view of memory the
+// workspace is about to recycle — the classic "stale activations" bug that
+// only shows up as silently wrong numbers.
+//
+// The check is a name-convention contract, matching how the repository
+// spells workspace accessors: any call to a function or method whose name
+// ends in "WS" and which returns a *Matrix is treated as yielding an alias.
+// Returning an alias is only legal from a function that is itself
+// WS-suffixed (it extends the convention); anywhere else the alias would
+// escape past the workspace's owner.
+var WSAlias = &Analyzer{
+	Name: "wsalias",
+	Doc:  "forbids retaining *Matrix values returned by *WS methods; they alias workspace storage that the next call overwrites",
+	Run:  runWSAlias,
+}
+
+func runWSAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkWSAlias(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkWSAlias(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// sources: every call expression in this body that yields a workspace
+	// alias. tainted: local variables directly assigned from one.
+	sources := make(map[ast.Expr]string) // call expr -> callee name
+	tainted := make(map[types.Object]string)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := wsAliasCall(info, call); ok {
+				sources[call] = name
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			name, ok := sources[ast.Unparen(rhs)]
+			if !ok {
+				continue
+			}
+			if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					tainted[obj] = name
+				} else if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Parent() != obj.Pkg().Scope() {
+					tainted[obj] = name // reassigned local
+				}
+			}
+		}
+		return true
+	})
+
+	// aliasName returns the source call behind e: a direct *WS call or a
+	// tainted local.
+	aliasName := func(e ast.Expr) (string, bool) {
+		e = ast.Unparen(e)
+		if name, ok := sources[e]; ok {
+			return name, true
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if name, ok := tainted[obj]; ok {
+					return name, true
+				}
+			}
+		}
+		return "", false
+	}
+	report := func(pos ast.Node, name, sink string) {
+		pass.Reportf(pos.Pos(),
+			"*Matrix from %s aliases workspace storage and must not be %s; copy it out (CloneInto) if it must outlive the workspace", name, sink)
+	}
+
+	ownerIsWS := strings.HasSuffix(fd.Name.Name, "WS") && fd.Name.Name != "WS"
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // tuple assignment from one call; no WS source yields tuples of interest
+				}
+				name, ok := aliasName(n.Rhs[i])
+				if !ok {
+					continue
+				}
+				switch lhs := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if v, ok := info.Uses[lhs.Sel].(*types.Var); ok {
+						if v.IsField() {
+							report(n.Rhs[i], name, "stored into a struct field")
+						} else if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+							report(n.Rhs[i], name, "stored into a global")
+						}
+					}
+				case *ast.Ident:
+					if v, ok := info.Uses[lhs].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && !v.IsField() {
+						report(n.Rhs[i], name, "stored into a global")
+					}
+				case *ast.IndexExpr:
+					switch typeOf(info, lhs.X).Underlying().(type) {
+					case *types.Map:
+						report(n.Rhs[i], name, "stored into a map")
+					case *types.Slice, *types.Array, *types.Pointer:
+						report(n.Rhs[i], name, "stored into a slice element")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if name, ok := aliasName(n.Value); ok {
+				report(n.Value, name, "sent on a channel")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					for _, arg := range n.Args[1:] {
+						if name, ok := aliasName(arg); ok {
+							report(arg, name, "appended to a slice")
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if ownerIsWS {
+				return true // WS-suffixed functions extend the convention
+			}
+			for _, res := range n.Results {
+				if name, ok := aliasName(res); ok {
+					report(res, name, "returned from non-WS function "+fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// wsAliasCall reports whether call invokes a WS-suffixed function or method
+// returning (at least one) *Matrix, and returns its name for diagnostics.
+func wsAliasCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if !strings.HasSuffix(name, "WS") || name == "WS" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isMatrixPointer(sig.Results().At(i).Type()) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// isMatrixPointer reports whether t is *Matrix for any named type called
+// Matrix — the repository's tensor matrix, or a fixture's stand-in.
+func isMatrixPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Matrix"
+}

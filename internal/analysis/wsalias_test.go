@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWSAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "wsalias"), "repro/internal/wsalias", analysis.WSAlias)
+}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/data"
@@ -28,9 +29,16 @@ func testEnv(t *testing.T, seed string) *fed.Env {
 }
 
 func roundSeconds(phases map[simtime.Phase]float64) float64 {
+	// Summed in sorted phase order: float accumulation over a randomized
+	// map order would differ in the last bits between runs.
+	keys := make([]simtime.Phase, 0, len(phases))
+	for k := range phases {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var s float64
-	for _, v := range phases {
-		s += v
+	for _, k := range keys {
+		s += phases[k]
 	}
 	return s
 }

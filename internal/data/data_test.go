@@ -24,6 +24,7 @@ func TestProfilesDistinct(t *testing.T) {
 		}
 	}
 	// Paper's targets are preserved as PaperTarget; sim targets are lower.
+	//fluxvet:unordered independent per-profile assertions; order cannot affect the verdict
 	for name, want := range map[string]float64{"dolly": 0.5, "gsm8k": 0.62, "mmlu": 0.75, "piqa": 0.8} {
 		p, err := ProfileByName(name)
 		if err != nil {

@@ -1,3 +1,5 @@
+//fluxvet:allow wallclock real-TCP transport tests run against real sockets, so watchdog timeouts and deadlines legitimately use real time
+
 package fed
 
 import (

@@ -245,6 +245,8 @@ func EstimateGradientSPSAWithBase(m *moe.Model, ws *moe.Workspace, key Key, seqs
 // The accumulation order (per-sequence losses summed in order, divided once)
 // matches the internal baseline of EstimateGradientSPSA, so the value can be
 // shared across per-expert probe calls bit-identically.
+//
+//fluxvet:hotpath probe-loss evaluation inside the SPSA assignment search inner loop
 func MeanLoss(m *moe.Model, ws *moe.Workspace, seqs [][]int, masks [][]bool) float64 {
 	if ws == nil {
 		ws = moe.NewWorkspace()

@@ -43,6 +43,7 @@ func TestNewUtilityTableFromStats(t *testing.T) {
 	}
 	tb := NewUtilityTable(stats)
 	var sum float64
+	//fluxvet:unordered sum is compared against 1 with 1e-9 tolerance; order noise is far below it
 	for _, u := range tb.U {
 		if u < 0 {
 			t.Fatal("negative utility")
@@ -159,6 +160,7 @@ func TestRefreshFromGrads(t *testing.T) {
 	tb := &UtilityTable{U: map[Key]float64{}}
 	tb.Refresh(grads)
 	var touched int
+	//fluxvet:unordered integer count of positive entries; order cannot affect it
 	for _, u := range tb.U {
 		if u > 0 {
 			touched++

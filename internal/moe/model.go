@@ -168,6 +168,8 @@ func (m *Model) forwardFull(ws *Workspace, seq []int, stats *ActivationStats, sa
 // prefix can serve many suffix evaluations as long as no parameter below
 // stop changes. SPSA probing uses this to re-evaluate the loss after
 // perturbing a single expert without recomputing the layers beneath it.
+//
+//fluxvet:hotpath SPSA probe prefix reuse; runs once per cached prefix inside the assignment search inner loop
 func (m *Model) ForwardPrefixWS(ws *Workspace, seq []int, stop int) *tensor.Matrix {
 	if ws == nil {
 		ws = NewWorkspace()
@@ -196,6 +198,8 @@ func (m *Model) LayerInputWS(ws *Workspace, l int) *tensor.Matrix {
 // and returns the masked mean next-token cross-entropy of seq. The
 // composition ForwardPrefixWS + LossSuffixWS is bit-identical to LossWS at
 // every split point.
+//
+//fluxvet:hotpath SPSA probe suffix; runs per probe per sequence in the assignment search inner loop
 func (m *Model) LossSuffixWS(ws *Workspace, x *tensor.Matrix, start int, seq []int, mask []bool) float64 {
 	caches := ws.cachesFor(len(m.Layers))
 	for l := start; l < len(m.Layers); l++ {
@@ -211,11 +215,14 @@ func (m *Model) LossSuffixWS(ws *Workspace, x *tensor.Matrix, start int, seq []i
 // Routing statistics are recorded into stats when non-nil; sampleID tags the
 // sequence for per-expert data-set tracking (pass -1 to skip).
 func (m *Model) Forward(seq []int, stats *ActivationStats, sampleID int) *tensor.Matrix {
+	//fluxvet:allow wsalias the workspace is freshly allocated and never reused, so the returned logits have no other owner
 	return m.ForwardWS(NewWorkspace(), seq, stats, sampleID)
 }
 
 // ForwardWS is Forward with caller-provided workspace. The returned logits
 // alias ws storage and are valid only until ws is next used.
+//
+//fluxvet:hotpath per-sequence inference; warm workspaces must stay 0 allocs/op (TestForwardBackwardZeroAllocs)
 func (m *Model) ForwardWS(ws *Workspace, seq []int, stats *ActivationStats, sampleID int) *tensor.Matrix {
 	if ws == nil {
 		ws = NewWorkspace()
@@ -232,6 +239,8 @@ func (m *Model) Loss(seq []int, mask []bool) float64 {
 }
 
 // LossWS is Loss with caller-provided workspace.
+//
+//fluxvet:hotpath per-sequence eval loss; runs across the eval subset every round
 func (m *Model) LossWS(ws *Workspace, seq []int, mask []bool) float64 {
 	if ws == nil {
 		ws = NewWorkspace()
@@ -253,6 +262,8 @@ func (m *Model) ForwardBackward(seq []int, mask []bool, grads *Grads, stats *Act
 // ForwardBackwardWS is ForwardBackward with caller-provided workspace. With a
 // warm workspace the whole pass performs zero heap allocations; results are
 // bit-identical to the allocating path.
+//
+//fluxvet:hotpath steady-state training step; warm workspaces must stay 0 allocs/op (TestForwardBackwardZeroAllocs, benchguard)
 func (m *Model) ForwardBackwardWS(ws *Workspace, seq []int, mask []bool, grads *Grads, stats *ActivationStats, sampleID int) float64 {
 	if ws == nil {
 		ws = NewWorkspace()

@@ -61,12 +61,15 @@ type Workspace struct {
 
 // NewWorkspace returns an empty workspace; buffers are allocated lazily on
 // first use and reused afterwards.
+//
+//fluxvet:allow hotalloc cold-start constructor: hot callers reach it only through their nil-workspace fallback, once per caller lifetime; warm callers pass their own workspace
 func NewWorkspace() *Workspace { return &Workspace{} }
 
 // cachesFor returns n per-layer caches, growing the pool while preserving
 // previously allocated cache buffers.
 func (ws *Workspace) cachesFor(n int) []*layerCache {
 	for len(ws.caches) < n {
+		//fluxvet:allow hotalloc pool growth to the layer-count high-water mark; once the pool is full the loop body never executes again
 		ws.caches = append(ws.caches, &layerCache{})
 	}
 	return ws.caches[:n]
@@ -79,6 +82,7 @@ func (ws *Workspace) cachesFor(n int) []*layerCache {
 func (ws *Workspace) scratchGrad(e *Expert) *ExpertGrad {
 	g := ws.nilGrad
 	if g == nil {
+		//fluxvet:allow hotalloc once-per-workspace lazy init of the shared grad sink; later calls reuse ws.nilGrad
 		g = &ExpertGrad{}
 		ws.nilGrad = g
 	}
@@ -93,6 +97,7 @@ func (ws *Workspace) scratchGrad(e *Expert) *ExpertGrad {
 // capacity suffices. Contents are unspecified; callers fully overwrite.
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
+		//fluxvet:allow hotalloc grow-on-demand: allocates only until the high-water capacity is reached, then the cap check short-circuits
 		return make([]float64, n)
 	}
 	return s[:n]
@@ -103,6 +108,7 @@ func growFloats(s []float64, n int) []float64 {
 // are preserved for reuse.
 func growOuterInts(s [][]int, n int) [][]int {
 	if cap(s) < n {
+		//fluxvet:allow hotalloc grow-on-demand: allocates only until the high-water capacity is reached, then the cap check short-circuits
 		ns := make([][]int, n)
 		copy(ns, s[:cap(s)])
 		return ns
@@ -113,6 +119,7 @@ func growOuterInts(s [][]int, n int) [][]int {
 // growOuterFloats is growOuterInts for [][]float64.
 func growOuterFloats(s [][]float64, n int) [][]float64 {
 	if cap(s) < n {
+		//fluxvet:allow hotalloc grow-on-demand: allocates only until the high-water capacity is reached, then the cap check short-circuits
 		ns := make([][]float64, n)
 		copy(ns, s[:cap(s)])
 		return ns
@@ -124,6 +131,7 @@ func growOuterFloats(s [][]float64, n int) [][]float64 {
 // buffers.
 func growOuterHidden(s [][][]float64, n int) [][][]float64 {
 	if cap(s) < n {
+		//fluxvet:allow hotalloc grow-on-demand: allocates only until the high-water capacity is reached, then the cap check short-circuits
 		ns := make([][][]float64, n)
 		copy(ns, s[:cap(s)])
 		return ns

@@ -18,6 +18,8 @@ func Dot(a, b []float64) float64 {
 // 4-way unroll only reduces loop overhead — each element still sees exactly
 // one fused accumulation, so results are bit-identical to the plain loop.
 // This is the inner kernel of the matmul fast path and the expert FFN.
+//
+//fluxvet:hotpath innermost vector kernel of expert forward/backward and SGD
 func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("tensor: axpy length mismatch")
@@ -125,6 +127,7 @@ func TopKInto(idx []int, used []bool, v []float64, k int) ([]int, []bool) {
 		return idx[:0], used
 	}
 	if cap(used) < len(v) {
+		//fluxvet:allow hotalloc bitmap grows once to the expert-count high-water mark, then the cap check short-circuits
 		used = make([]bool, len(v))
 	} else {
 		used = used[:len(v)]
@@ -142,7 +145,7 @@ func TopKInto(idx []int, used []bool, v []float64, k int) ([]int, []bool) {
 			}
 		}
 		used[bi] = true
-		idx = append(idx, bi)
+		idx = append(idx, bi) //fluxvet:allow hotalloc appends into the caller's reused index slice resliced to length 0; capacity reaches k after the first call
 	}
 	return idx, used
 }

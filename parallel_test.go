@@ -91,6 +91,7 @@ func samePhases(a, b map[string]float64) error {
 	if len(a) != len(b) {
 		return fmt.Errorf("phase maps differ in size: %v vs %v", a, b)
 	}
+	//fluxvet:unordered per-phase equality checks; order cannot affect the verdict
 	for phase, va := range a {
 		vb, ok := b[phase]
 		if !ok {
