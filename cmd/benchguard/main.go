@@ -5,12 +5,19 @@
 // workload, so a >10% jump always means somebody reintroduced a per-token or
 // per-round allocation.
 //
-//	go test -run '^$' -bench '^BenchmarkRound$' -benchmem -benchtime 2x . \
+//	go test -run '^$' -bench '^BenchmarkRound$' -benchmem -benchtime 2x -count 3 . \
 //	    | benchjson | benchguard -baseline bench/BENCH_round.json
 //
 // Benchmarks present on only one side are reported but never fatal, so
 // adding or retiring a sub-benchmark does not require a lockstep snapshot
 // update.
+//
+// Duplicate entries for one benchmark name (from -count N) collapse to their
+// median allocs/op before comparison, on both the fresh and the baseline
+// side. Short -benchtime runs are bimodal — a GC cycle or pool warm-up
+// landing inside the measured window inflates a single sample — so the
+// median of three runs is stable where any single run occasionally trips the
+// ratio gate.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // result mirrors the benchjson output fields benchguard cares about.
@@ -72,6 +80,46 @@ func compare(base, fresh []result, maxRatio float64) []regression {
 	return regs
 }
 
+// aggregate collapses duplicate benchmark names (repeated runs from
+// -count N) into one entry holding the median of each metric, keeping
+// first-appearance order. Names occurring once pass through unchanged.
+func aggregate(rs []result) []result {
+	byName := make(map[string][]result, len(rs))
+	var order []string
+	for _, r := range rs {
+		if _, seen := byName[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		runs := byName[name]
+		allocs := make([]float64, len(runs))
+		ns := make([]float64, len(runs))
+		for i, r := range runs {
+			allocs[i] = r.AllocsPerOp
+			ns[i] = r.NsPerOp
+		}
+		out = append(out, result{Name: name, NsPerOp: median(ns), AllocsPerOp: median(allocs)})
+	}
+	return out
+}
+
+// median returns the middle value of vs (the mean of the middle two for even
+// lengths). vs is sorted in place; callers pass freshly built slices.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	mid := len(vs) / 2
+	if len(vs)%2 == 1 {
+		return vs[mid]
+	}
+	return (vs[mid-1] + vs[mid]) / 2
+}
+
 // unmatched returns names present in fresh but absent from base.
 func unmatched(base, fresh []result) []string {
 	byName := make(map[string]bool, len(base))
@@ -120,6 +168,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard: no benchmark results on stdin")
 		os.Exit(1)
 	}
+	base = aggregate(base)
+	fresh = aggregate(fresh)
 	for _, name := range unmatched(base, fresh) {
 		fmt.Printf("benchguard: %s has no baseline entry (new benchmark?), skipping\n", name)
 	}

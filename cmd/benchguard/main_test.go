@@ -68,3 +68,54 @@ func TestImprovementPasses(t *testing.T) {
 		t.Fatalf("improvement flagged as regression: %v", regs)
 	}
 }
+
+func TestMedian(t *testing.T) {
+	for _, tc := range []struct {
+		vs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{9, 1}, 5},
+		{[]float64{30, 10, 20}, 20},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	} {
+		if got := median(append([]float64(nil), tc.vs...)); got != tc.want {
+			t.Errorf("median(%v) = %v, want %v", tc.vs, got, tc.want)
+		}
+	}
+}
+
+// TestAggregateCollapsesRepeatedRuns pins the -count N flake fix: a single
+// outlier sample (a GC cycle landing inside a 2-iteration window) must not
+// survive the median, so one bimodal run out of three stays within budget.
+func TestAggregateCollapsesRepeatedRuns(t *testing.T) {
+	fresh := aggregate([]result{
+		res("round/workers=8", 14618),
+		res("round/workers=8", 21000), // the bimodal outlier
+		res("round/workers=8", 14620),
+		res("other", 5),
+	})
+	if len(fresh) != 2 {
+		t.Fatalf("aggregate kept %d entries, want 2: %+v", len(fresh), fresh)
+	}
+	if fresh[0].Name != "round/workers=8" || fresh[1].Name != "other" {
+		t.Fatalf("aggregate reordered entries: %+v", fresh)
+	}
+	if fresh[0].AllocsPerOp != 14620 {
+		t.Fatalf("median allocs = %v, want 14620 (outlier must not survive)", fresh[0].AllocsPerOp)
+	}
+	base := []result{res("round/workers=8", 14618), res("other", 5)}
+	if regs := compare(aggregate(base), fresh, 1.10); len(regs) != 0 {
+		t.Fatalf("median-of-3 with one outlier sample flagged as regression: %v", regs)
+	}
+}
+
+// TestAggregateSingleRunsUnchanged pins that -count 1 output is untouched.
+func TestAggregateSingleRunsUnchanged(t *testing.T) {
+	in := []result{res("a", 10), res("b", 0)}
+	out := aggregate(in)
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("aggregate changed single-run results: %+v -> %+v", in, out)
+	}
+}

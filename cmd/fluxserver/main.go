@@ -5,6 +5,8 @@
 // Usage:
 //
 //	fluxserver -addr :7700 -clients 3 -rounds 5 -out final.ckpt
+//	fluxserver -clients 3 -metrics 127.0.0.1:7790
+//	            # expose live Prometheus-text metrics at /metrics
 package main
 
 import (
@@ -24,6 +26,7 @@ func main() {
 	model := flag.String("model", "llama", "MoE architecture: llama | deepseek")
 	out := flag.String("out", "", "optional path for the final model checkpoint")
 	pretrain := flag.Int("pretrain", 300, "base-model pre-training steps")
+	metrics := flag.String("metrics", "", "serve live Prometheus-text metrics at http://<addr>/metrics")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -36,6 +39,7 @@ func main() {
 		Model:          *model,
 		PretrainSteps:  *pretrain,
 		CheckpointPath: *out,
+		MetricsAddr:    *metrics,
 		Logf:           log.Printf,
 	})
 	if err != nil {

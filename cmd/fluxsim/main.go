@@ -15,6 +15,11 @@
 //	fluxsim -scenario scenarios/straggler-drop.json
 //	                                 # one fleet scenario: heterogeneous
 //	                                 # profiles, cohort selection, deadlines
+//	fluxsim -scenario s.json -trace out.json -runlog run.jsonl
+//	                                 # ... with a Perfetto-viewable timeline
+//	                                 # and a structured JSONL round log
+//	fluxsim -trace-summary out.json  # critical path, per-phase totals, and
+//	                                 # slowest participants of a saved trace
 //
 // The exit status is non-zero if any requested experiment fails; remaining
 // experiments still run.
@@ -24,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	flux "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -50,6 +57,9 @@ func run() int {
 	quick := flag.Bool("quick", false, "reduced rounds/samples; same workload shapes")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "participant worker pool per round (1 = serial); results are bit-identical at any setting")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	trace := flag.String("trace", "", "write a Chrome trace-event timeline of the scenario run to this file (view in Perfetto); requires -scenario")
+	runlog := flag.String("runlog", "", "write a structured JSONL run log of the scenario run to this file; requires -scenario")
+	traceSummary := flag.String("trace-summary", "", "summarize a trace file written by -trace (critical path, phase totals, slowest participants) and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -87,6 +97,13 @@ func run() int {
 		fmt.Println(strings.Join(flux.Experiments(), "\n"))
 		return 0
 	}
+	if *traceSummary != "" {
+		if err := summarizeTrace(*traceSummary); err != nil {
+			fmt.Fprintln(os.Stderr, "fluxsim:", err)
+			return 1
+		}
+		return 0
+	}
 	if *scenario != "" {
 		// A scenario file fixes its own scale and fleet; refuse flags that
 		// would be silently ignored (-exp alone is documented as overridden).
@@ -94,11 +111,17 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "fluxsim: -scenario cannot be combined with -quick, -fleet, or the -agg flags (the scenario file fixes scale, fleet, and aggregation)")
 			return 1
 		}
-		if err := runScenario(*scenario, *workers); err != nil {
+		if err := runScenario(*scenario, *workers, *trace, *runlog); err != nil {
 			fmt.Fprintln(os.Stderr, "fluxsim:", err)
 			return 1
 		}
 		return 0
+	}
+	if *trace != "" || *runlog != "" {
+		// The experiment suite multiplexes many runs over one process; the
+		// per-run sinks only make sense for a single scenario run.
+		fmt.Fprintln(os.Stderr, "fluxsim: -trace and -runlog require -scenario (one run per sink)")
+		return 1
 	}
 	var fleetSpec flux.FleetSpec
 	if *fleetDist != "" {
@@ -143,7 +166,9 @@ func run() int {
 
 // runScenario executes one fleet scenario file, streaming per-round
 // participation and timing so straggler and selection effects are visible.
-func runScenario(path string, workers int) error {
+// tracePath and runlogPath, when non-empty, receive the run's Chrome trace
+// timeline and structured JSONL log.
+func runScenario(path string, workers int, tracePath, runlogPath string) error {
 	s, err := flux.LoadScenario(path)
 	if err != nil {
 		return err
@@ -156,7 +181,36 @@ func runScenario(path string, workers int) error {
 	fmt.Printf("  method=%s dataset=%s model=%s participants=%d rounds=%d\n",
 		cfg.Method, cfg.Dataset, cfg.Model, cfg.Participants, cfg.Rounds)
 
-	opts := append(s.Options(),
+	var sinkOpts []flux.Option
+	var sinkFiles []*os.File
+	for _, sink := range []struct {
+		path string
+		opt  func(io.Writer) flux.Option
+	}{{tracePath, flux.WithTrace}, {runlogPath, flux.WithRunLog}} {
+		if sink.path == "" {
+			continue
+		}
+		f, err := os.Create(sink.path)
+		if err != nil {
+			return err
+		}
+		sinkFiles = append(sinkFiles, f)
+		sinkOpts = append(sinkOpts, sink.opt(f))
+	}
+	closeSinks := func() error {
+		var first error
+		for _, f := range sinkFiles {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sinkFiles = nil
+		return first
+	}
+	defer closeSinks()
+
+	opts := append(s.Options(), sinkOpts...)
+	opts = append(opts,
 		flux.WithParallelism(workers),
 		flux.WithRoundEvents(func(ev flux.RoundEvent) {
 			if ev.Round == 0 {
@@ -198,6 +252,30 @@ func runScenario(path string, workers int) error {
 	if res.ModelVersion > 0 {
 		fmt.Printf("  aggregation: model version %d, %d stale merges\n", res.ModelVersion, res.Stale)
 	}
+	if err := closeSinks(); err != nil {
+		return err
+	}
+	if tracePath != "" {
+		fmt.Printf("  trace written to %s (open in ui.perfetto.dev; summarize with -trace-summary)\n", tracePath)
+	}
+	if runlogPath != "" {
+		fmt.Printf("  run log written to %s\n", runlogPath)
+	}
 	fmt.Println()
 	return nil
+}
+
+// summarizeTrace prints the critical path, per-phase totals, server idle
+// time, and slowest participants of a trace file written by -trace.
+func summarizeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := obs.Summarize(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return sum.WriteText(os.Stdout, 5)
 }

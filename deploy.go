@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/fed"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -50,6 +52,17 @@ type ServerConfig struct {
 	IOTimeout time.Duration
 	// CheckpointPath, if set, receives the final aggregated model.
 	CheckpointPath string
+	// MetricsAddr, if set, serves live deployment metrics (rounds, wire
+	// traffic, model version, connected clients) in Prometheus text format
+	// at http://<MetricsAddr>/metrics for the lifetime of the deployment.
+	// The endpoint is up before the base model builds, so a scrape works
+	// while the server is still waiting for participants.
+	MetricsAddr string
+	// Metrics, if non-nil, receives the same live counters and gauges
+	// directly — for embedders that already run an HTTP server and want to
+	// mount the registry themselves. Set at most one of MetricsAddr and
+	// Metrics.
+	Metrics *MetricsRegistry
 	// Logf, if set, receives progress lines (e.g. log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -85,6 +98,32 @@ func Serve(ctx context.Context, cfg ServerConfig) error {
 	if cfg.Rounds <= 0 {
 		return fmt.Errorf("flux: server needs a positive round count, got %d", cfg.Rounds)
 	}
+	if cfg.MetricsAddr != "" && cfg.Metrics != nil {
+		return fmt.Errorf("flux: set at most one of MetricsAddr and Metrics")
+	}
+	metrics := cfg.Metrics
+	if metrics != nil {
+		obs.RegisterStandard(metrics)
+	}
+	if cfg.MetricsAddr != "" {
+		// The scrape endpoint comes up before the (slow) base-model build so
+		// monitoring can attach while the deployment is still warming up;
+		// the full series set is registered at zero so even the first scrape
+		// is complete.
+		metrics = NewMetricsRegistry()
+		obs.RegisterStandard(metrics)
+		mln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("flux: metrics listener: %w", err)
+		}
+		defer mln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics)
+		msrv := &http.Server{Handler: mux}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		cfg.logf("flux: metrics on http://%s/metrics", mln.Addr())
+	}
 	model, err := baseModelContext(ctx, cfg.Model, cfg.PretrainSteps)
 	if err != nil {
 		return err
@@ -99,7 +138,7 @@ func Serve(ctx context.Context, cfg ServerConfig) error {
 	}
 	cfg.logf("flux: serving on %s, waiting for %d participants", ln.Addr(), cfg.Clients)
 
-	srv := &fed.Server{Global: model, Rounds: cfg.Rounds, Clients: cfg.Clients, IOTimeout: cfg.IOTimeout}
+	srv := &fed.Server{Global: model, Rounds: cfg.Rounds, Clients: cfg.Clients, IOTimeout: cfg.IOTimeout, Metrics: metrics}
 	if err := srv.ServeContext(ctx, ln); err != nil {
 		return err
 	}

@@ -110,6 +110,25 @@
 // suppression is itself a finding. Run it locally with
 // `go run ./cmd/fluxvet ./...`; see README "Determinism contract".
 //
+// Observability is deterministic too. Three sinks hang off the round loop:
+// WithTrace streams a Chrome trace-event timeline over simulated time (round
+// spans, per-phase child spans, one lane per participant, flush spans under
+// event-driven aggregation — open it in Perfetto), WithRunLog streams a
+// structured JSONL log (one run header, one record per round, one per cohort
+// member with device, phase seconds, traffic, and staleness), and
+// WithMetrics publishes live counters and gauges into a MetricsRegistry
+// whose /metrics handler speaks Prometheus text (ServerConfig.MetricsAddr
+// and `fluxserver -metrics` expose the same registry for TCP deployments).
+// Every timestamp comes from the simulated clock and every record is
+// serialized in a stable order, so trace and run-log bytes are bit-identical
+// across worker counts and same-seed runs — fluxtest's
+// ObservabilityDeterminism check pins that, along with span durations
+// reproducing RoundEvent.Phases exactly. Disabled sinks cost one nil check
+// per round and zero allocations. `fluxsim -trace/-runlog` write the sinks
+// for a scenario run, and `fluxsim -trace-summary` condenses a saved trace
+// into critical path, per-phase totals, server idle, and the slowest
+// participants.
+//
 // Per-round accuracy, simulated time, and wire traffic stream out through
 // RoundEvent callbacks (WithRoundEvents). Serve and Join run the
 // cross-machine parameter-server deployment that cmd/fluxserver and

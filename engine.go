@@ -6,6 +6,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/fed"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/tensor"
 )
@@ -111,6 +112,16 @@ const (
 	// deadline the server waited out.
 	PhaseStraggler = simtime.PhaseStraggler
 )
+
+// MetricsRegistry is a small goroutine-safe metric registry with Prometheus
+// text exposition: Counter and Gauge are get-or-create by name, WriteText
+// emits the sorted text format, and the registry itself is an http.Handler
+// serving a /metrics scrape endpoint. Pass one to WithMetrics (or
+// ServerConfig.Metrics) to watch a run live.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewEnv materializes the federated environment cfg describes: synthesizes
 // the dataset, pre-trains the base model (cached per architecture and

@@ -51,7 +51,9 @@ type RoundEvent struct {
 	// Phases breaks the round's simulated seconds down by phase
 	// (profiling, merging, assignment, fine-tuning, communication, and
 	// straggler-wait when a drop deadline leaves the server idle);
-	// nil for transports that do not model phase time.
+	// nil for transports that do not model phase time. The map is the
+	// event's own copy: a handler may retain or mutate it freely without
+	// corrupting later rounds or the records of other consumers.
 	Phases map[string]float64
 }
 

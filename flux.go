@@ -3,11 +3,13 @@ package flux
 import (
 	"context"
 	"errors"
+	"io"
 	"sync"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/fed"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -18,6 +20,13 @@ type Experiment struct {
 	cfg       Config
 	transport Transport
 	handlers  []EventHandler
+
+	// Observability sinks (see WithTrace, WithRunLog, WithMetrics). All
+	// three default to nil, which costs nothing: the round loop checks one
+	// pointer per round and the engine's hot paths never see a recorder.
+	traceW  io.Writer
+	runlogW io.Writer
+	metrics *MetricsRegistry
 
 	mu  sync.Mutex
 	env *Env
@@ -146,10 +155,50 @@ func (e *Experiment) resolveTarget(p data.Profile) float64 {
 }
 
 func (e *Experiment) emit(res *Result, ev RoundEvent) {
+	if len(ev.Phases) > 0 {
+		// The event gets its own copy of the phase map: transports may reuse
+		// theirs, and a handler that mutates or retains Phases must not be
+		// able to corrupt the records of later rounds.
+		phases := make(map[string]float64, len(ev.Phases))
+		//fluxvet:unordered map-to-map copy; per-key writes, element order irrelevant
+		for p, v := range ev.Phases {
+			phases[p] = v
+		}
+		ev.Phases = phases
+	}
 	res.Events = append(res.Events, ev)
 	for _, h := range e.handlers {
 		h(ev)
 	}
+}
+
+// observeStart registers the run's metric set up front — a scrape before the
+// first round completes sees the full set at zero, not a partial exposition
+// — and records the fleet size.
+func (e *Experiment) observeStart() {
+	if e.metrics == nil {
+		return
+	}
+	obs.RegisterStandard(e.metrics)
+	e.metrics.Gauge(obs.MetricClients, "").Set(float64(e.cfg.Participants))
+}
+
+// observeRound records one completed round in the metrics registry.
+func (e *Experiment) observeRound(r int, stats RoundStats) {
+	if e.metrics == nil {
+		return
+	}
+	version := stats.ModelVersion
+	if version == 0 {
+		// Synchronous aggregation publishes exactly one version per round.
+		version = r + 1
+	}
+	e.metrics.Counter(obs.MetricRounds, "").Add(1)
+	e.metrics.Counter(obs.MetricUplinkBytes, "").Add(stats.UplinkBytes)
+	e.metrics.Counter(obs.MetricDownlinkBytes, "").Add(stats.DownlinkBytes)
+	e.metrics.Counter(obs.MetricStaleUpdates, "").Add(float64(stats.Stale))
+	e.metrics.Gauge(obs.MetricModelVersion, "").Set(float64(version))
+	e.metrics.Gauge(obs.MetricPending, "").Set(float64(stats.Pending))
 }
 
 // Run executes the experiment: one synchronous round protocol, driven over
@@ -173,10 +222,25 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	env.SetContext(ctx)
+	// NewRecorder returns nil when no sink is configured; every recorder
+	// method is nil-safe, so the calls below stay unconditional while a
+	// sink-free run pays one pointer check per round and allocates nothing.
+	rec := obs.NewRecorder(e.traceW, e.runlogW)
+	env.SetRecorder(rec)
 	if err := e.transport.Start(ctx, env, e.cfg.Method); err != nil {
 		e.transport.Close()
+		rec.Close()
 		return nil, err
 	}
+	rec.BeginRun(obs.RunMeta{
+		Method:       e.cfg.Method,
+		Dataset:      e.cfg.Dataset,
+		Model:        e.cfg.Model,
+		Seed:         e.cfg.Seed,
+		Transport:    e.transport.Name(),
+		Participants: e.cfg.Participants,
+	})
+	e.observeStart()
 
 	target := e.resolveTarget(env.Profile)
 	clock := simtime.NewClock()
@@ -195,6 +259,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	res.Baseline, res.Best = score, score
 	//fluxvet:allow wallclock wall-time observability in the event stream; never folded into results
 	e.emit(res, RoundEvent{Round: 0, Score: score, Elapsed: time.Since(start)})
+	rec.EndRound(obs.Round{Round: 0, Score: score})
 
 	var runErr error
 	for r := 0; r < e.cfg.Rounds; r++ {
@@ -202,6 +267,7 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 			runErr = err
 			break
 		}
+		startSec := clock.Seconds()
 		stats, err := e.transport.Round(ctx, r)
 		if err != nil {
 			runErr = fed.CtxErr(ctx, err)
@@ -230,6 +296,23 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 		if score > res.Best {
 			res.Best = score
 		}
+		rec.EndRound(obs.Round{
+			Round:          r + 1,
+			StartSec:       startSec,
+			EndSec:         clock.Seconds(),
+			Score:          score,
+			UplinkBytes:    stats.UplinkBytes,
+			DownlinkBytes:  stats.DownlinkBytes,
+			ExpertsTouched: stats.ExpertsTouched,
+			Selected:       stats.Selected,
+			Completed:      stats.Completed,
+			Dropped:        stats.Dropped,
+			Pending:        stats.Pending,
+			ModelVersion:   stats.ModelVersion,
+			Stale:          stats.Stale,
+			Phases:         stats.Phases,
+		})
+		e.observeRound(r, stats)
 		e.emit(res, RoundEvent{
 			Round:    r + 1,
 			Score:    score,
@@ -254,11 +337,18 @@ func (e *Experiment) Run(ctx context.Context) (*Result, error) {
 	}
 
 	closeErr := e.transport.Close()
+	recErr := rec.Close()
+	if e.metrics != nil {
+		e.metrics.Gauge(obs.MetricClients, "").Set(0)
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
 	if closeErr != nil {
 		return nil, closeErr
+	}
+	if recErr != nil {
+		return nil, recErr
 	}
 	res.Final = score
 	res.SimHours = clock.Hours()

@@ -11,6 +11,10 @@
 //   - the same bit-identity under buffered-async and semi-sync aggregation
 //     at any worker count, plus carry-over conservation (semi-sync never
 //     drops an update — late ones buffer into later rounds),
+//   - byte-identical observability sinks: the trace and run-log written for
+//     a run are the same bytes at any worker count and across same-seed
+//     runs, with round-level span durations reproducing RoundEvent.Phases
+//     exactly and a conserved participation census,
 //   - context cancellation observed within a bound, including under an
 //     active aggregation spec,
 //   - deterministic aggregation order (socket transports must produce the
@@ -30,6 +34,7 @@
 package fluxtest
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	flux "repro"
+	"repro/internal/obs"
 )
 
 // QuickConfig returns the small-but-real experiment configuration the suite
@@ -240,6 +246,45 @@ func TestRounder(t *testing.T, s RounderSpec) {
 		if a.Selected != a.Completed+pending {
 			t.Errorf("carry-over accounting broken: %d selected != %d completed + %d still pending",
 				a.Selected, a.Completed, pending)
+		}
+	})
+
+	t.Run("ObservabilityDeterminism", func(t *testing.T) {
+		// The observability contract: the trace and run-log sinks take every
+		// timestamp from the simulated clock and serialize in a stable order,
+		// so the bytes they write are identical at any worker count and
+		// across same-seed runs; the trace's round-level phase spans
+		// reproduce RoundEvent.Phases exactly; and the participation census
+		// recorded in the round spans is conserved over the run. Runs twice:
+		// once under a drop-policy fleet (straggler spans), once under
+		// buffered-async aggregation (flush spans).
+		ocfg := QuickConfig("fluxtest/obs/"+s.Name, method)
+		ocfg.Fleet = flux.FleetSpec{Distribution: "tiered", Deadline: 20000, Drop: true, Seed: "fluxtest"}
+		acfg := QuickConfig("fluxtest/obs-async/"+s.Name, method)
+		acfg.Fleet = flux.FleetSpec{Distribution: "tiered", Seed: "fluxtest"}
+		acfg.Aggregation = flux.AggregationSpec{Mode: flux.AggAsync, BufferK: 2, StalenessAlpha: 0.5}
+		for _, c := range []struct {
+			name string
+			cfg  flux.Config
+		}{{"fleet-drop", ocfg}, {"async", acfg}} {
+			c.cfg.Workers = 1
+			res, trace, runlog := runWithSinks(t, c.cfg)
+			for i, workers := range []int{1, 8} {
+				wcfg := c.cfg
+				wcfg.Workers = workers
+				_, wtrace, wrunlog := runWithSinks(t, wcfg)
+				rerun := fmt.Sprintf("%s workers=%d run", c.name, workers)
+				if i == 0 {
+					rerun = c.name + " repeat serial run"
+				}
+				if !bytes.Equal(trace, wtrace) {
+					t.Errorf("trace bytes differ between the %s reference and the %s", c.name, rerun)
+				}
+				if !bytes.Equal(runlog, wrunlog) {
+					t.Errorf("run-log bytes differ between the %s reference and the %s", c.name, rerun)
+				}
+			}
+			assertTraceMatchesEvents(t, trace, res)
 		}
 	})
 
@@ -450,6 +495,95 @@ func methodKnown(name string) bool {
 		}
 	}
 	return false
+}
+
+// runWithSinks executes one experiment with the trace and run-log sinks
+// attached and returns the result alongside the raw sink bytes.
+func runWithSinks(t *testing.T, cfg flux.Config) (*flux.Result, []byte, []byte) {
+	t.Helper()
+	var trace, runlog bytes.Buffer
+	e, err := flux.New(flux.WithConfig(cfg), flux.WithTrace(&trace), flux.WithRunLog(&runlog))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, trace.Bytes(), runlog.Bytes()
+}
+
+// assertTraceMatchesEvents cross-checks a trace against the run's event
+// stream: every round-level phase span's duration must equal the matching
+// RoundEvent.Phases entry exactly (µs = seconds × 1e6, the same float64
+// arithmetic on both sides), every phase of the event must appear as a span,
+// and the participation census in the round spans' args must be conserved
+// over the run: selected == completed + dropped + still pending at the end.
+func assertTraceMatchesEvents(t *testing.T, trace []byte, res *flux.Result) {
+	t.Helper()
+	events, err := obs.ParseTrace(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	byRound := make(map[int]flux.RoundEvent, len(res.Events))
+	for _, ev := range res.Events {
+		byRound[ev.Round] = ev
+	}
+	arg := func(ev obs.TraceEvent, key string) float64 {
+		v, _ := ev.Args[key].(float64)
+		return v
+	}
+	round := -1 // the round span currently open, in emission order
+	spans := 0  // phase spans seen under it
+	var selected, completed, dropped, pending float64
+	checkSpanCount := func() {
+		if round < 0 {
+			return
+		}
+		if want := len(byRound[round].Phases); spans != want {
+			t.Errorf("round %d: %d phase spans in the trace, want %d (one per RoundEvent phase)", round, spans, want)
+		}
+	}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Cat {
+		case "round":
+			checkSpanCount()
+			if _, err := fmt.Sscanf(ev.Name, "round %d", &round); err != nil {
+				t.Fatalf("unparseable round span name %q", ev.Name)
+			}
+			if _, ok := byRound[round]; !ok {
+				t.Fatalf("trace has a span for round %d, but the run emitted no such event", round)
+			}
+			spans = 0
+			selected += arg(ev, "selected")
+			completed += arg(ev, "completed")
+			dropped += arg(ev, "dropped")
+			pending = arg(ev, "pending")
+		case "phase":
+			if ev.Pid != 0 || ev.Tid != 0 {
+				continue // participant-lane phase span, not a round-level one
+			}
+			if round < 0 {
+				t.Fatalf("phase span %q before any round span", ev.Name)
+			}
+			spans++
+			if want := byRound[round].Phases[ev.Name] * 1e6; ev.Dur != want {
+				t.Errorf("round %d phase %q: span duration %v µs, want exactly %v (RoundEvent.Phases × 1e6)",
+					round, ev.Name, ev.Dur, want)
+			}
+		}
+	}
+	checkSpanCount()
+	if round < 0 {
+		t.Fatal("trace contains no round spans")
+	}
+	if selected != completed+dropped+pending {
+		t.Errorf("census not conserved over the trace: %v selected != %v completed + %v dropped + %v pending",
+			selected, completed, dropped, pending)
+	}
 }
 
 // runOnce executes one experiment with the given transport (nil means the

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fed"
 	"repro/internal/flux/profile"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/simtime"
 )
@@ -56,6 +57,7 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	results := make([]baselineResult, len(cohort))
 	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
+		env.MarkPhase(simtime.PhaseFineTuning)
 		local := ws.LocalClone(env.Global)
 		grads := ws.Grads(local)
 		mws := ws.Workspace()
@@ -75,6 +77,7 @@ func (FMD) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		loads := int(2 * (1 - dev.CapacityFrac) * float64(total))
 		offloadSec := float64(steps) * dev.OffloadSeconds(cfg, loads)
 
+		env.MarkPhase(simtime.PhaseComm)
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
 		down := simtime.ModelBytes(cfg)
@@ -144,6 +147,27 @@ func finishRound(env *fed.Env, cohort []int, results []baselineResult) map[simti
 	}
 	env.ObserveDownlink(downBytes)
 
+	// Observability: per-participant phase splits in slot order, mirroring
+	// the totals above. The nil check keeps the disabled path allocation-free.
+	if rec := env.Obs(); rec != nil {
+		for slot, p := range results {
+			i := cohort[slot]
+			phases := map[string]float64{
+				string(simtime.PhaseFineTuning): p.localSec,
+				string(simtime.PhaseComm):       p.commSec,
+			}
+			if p.profSec > 0 {
+				phases[string(simtime.PhaseProfiling)] = p.profSec
+			}
+			rec.Participant(obs.Participant{
+				Index: i, Device: env.Devices[i].Name,
+				Phases:      phases,
+				UplinkBytes: p.bytes, DownlinkBytes: p.downBytes,
+				Dropped: !outcome.Keep[slot],
+			})
+		}
+	}
+
 	phases := map[simtime.Phase]float64{
 		simtime.PhaseFineTuning: maxLocal,
 		simtime.PhaseComm:       commMax + aggBytes/env.Cfg.ServerBw,
@@ -180,6 +204,7 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	results := make([]baselineResult, len(cohort))
 	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
+		env.MarkPhase(simtime.PhaseFineTuning)
 		// The local working copy lives on the quantization grid.
 		local := ws.LocalClone(env.Global)
 		moe.Quantize(local, bits)
@@ -201,6 +226,7 @@ func (q FMQ) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		// Quantized kernels run ~32/bits faster.
 		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, 1.0)) * float64(bits) / 32
 
+		env.MarkPhase(simtime.PhaseComm)
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u) * float64(bits) / 32
 		down := simtime.ModelBytes(cfg) * float64(bits) / 32
@@ -249,6 +275,7 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	results := make([]baselineResult, len(cohort))
 	err := fed.ForEachOf(env, cohort, func(ws *fed.Scratch, slot, i int) {
 		dev := env.Devices[i]
+		env.MarkPhase(simtime.PhaseProfiling)
 		mws := ws.Workspace()
 		batch := env.Batch(i, round)
 		// Fresh profiling each round (FMES has no stale pipeline). The
@@ -266,6 +293,7 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 			panic(fmt.Sprintf("fmes: %v", err))
 		}
 
+		env.MarkPhase(simtime.PhaseFineTuning)
 		grads := ws.Grads(local)
 		tokens := 0
 		for it := 0; it < env.Cfg.LocalIters; it++ {
@@ -279,6 +307,7 @@ func (s FMES) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		tuneFrac := float64(tune) / float64(maxiB(1, env.TotalExperts()))
 		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, tuneFrac))
 
+		env.MarkPhase(simtime.PhaseComm)
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
 		down := float64(tune) * simtime.ExpertBytes(cfg)

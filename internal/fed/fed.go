@@ -12,6 +12,7 @@ package fed
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/data"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/tensor"
 )
@@ -147,6 +149,14 @@ type envState struct {
 	// fresh per CloneForMethod.
 	version int
 	pending []pendingUpdate
+
+	// Observability: the attached span/run-log recorder (nil when no sink is
+	// configured — the common case, and the one the hot path is tuned for),
+	// the method label CloneForMethod stamped for CPU-profile attribution,
+	// and the lazily built per-phase pprof label contexts.
+	rec    *obs.Recorder
+	method string
+	labels map[simtime.Phase]context.Context
 }
 
 // envStateInit guards lazy state allocation for Env values assembled by
@@ -288,6 +298,85 @@ func (e *Env) TakeRoundObs() RoundObs {
 	return o
 }
 
+// SetRecorder attaches an observability recorder. Rounders and the
+// event-driven server report per-participant and per-flush observations into
+// it; the round driver owns its lifecycle (BeginRun/EndRound/Close). A nil
+// recorder detaches — the default, and the state every clone starts in.
+func (e *Env) SetRecorder(rec *obs.Recorder) {
+	st := e.st()
+	st.mu.Lock()
+	st.rec = rec
+	st.mu.Unlock()
+}
+
+// Obs returns the attached recorder, or nil when observability is off. The
+// nil case is the fast path: callers check once per round (never per
+// participant or per token) and skip all collection work, so a disabled
+// recorder costs one mutexed pointer read per round and zero allocations.
+func (e *Env) Obs() *obs.Recorder {
+	st := e.st()
+	st.mu.Lock()
+	rec := st.rec
+	st.mu.Unlock()
+	return rec
+}
+
+// MarkPhase tags the calling goroutine's CPU-profile samples with the given
+// round phase (and the environment's method label), so -cpuprofile output is
+// attributable per phase. Label contexts are prebuilt once per environment;
+// steady-state calls are a map lookup plus pprof.SetGoroutineLabels, which
+// does not allocate. Unknown phases leave the current labels in place.
+// Purely a profiling annotation — it never changes behavior or results.
+func (e *Env) MarkPhase(p simtime.Phase) {
+	st := e.st()
+	st.mu.Lock()
+	if st.labels == nil {
+		method := st.method
+		if method == "" {
+			method = "env"
+		}
+		canonical := simtime.CanonicalPhases()
+		st.labels = make(map[simtime.Phase]context.Context, len(canonical))
+		for _, ph := range canonical {
+			st.labels[ph] = pprof.WithLabels(context.Background(),
+				pprof.Labels("method", method, "phase", string(ph)))
+		}
+	}
+	ctx, ok := st.labels[p]
+	st.mu.Unlock()
+	if ok {
+		pprof.SetGoroutineLabels(ctx)
+	}
+}
+
+// methodName returns the label CloneForMethod stamped on this environment,
+// or "env" for hand-built environments, for CPU-profile attribution.
+func (e *Env) methodName() string {
+	st := e.st()
+	st.mu.Lock()
+	m := st.method
+	st.mu.Unlock()
+	if m == "" {
+		return "env"
+	}
+	return m
+}
+
+// phaseStrings converts a Rounder phase map to the string-keyed form the
+// observability layer serializes. Only called on recorder-enabled paths, so
+// the per-round allocation never taxes a disabled run.
+func phaseStrings(phases map[simtime.Phase]float64) map[string]float64 {
+	if len(phases) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(phases))
+	//fluxvet:unordered map-to-map copy; per-key writes, element order irrelevant
+	for p, v := range phases {
+		out[string(p)] = v
+	}
+	return out
+}
+
 // NewEnv builds an environment: generates the synthetic dataset, pre-trains
 // the global model on the training mixture, partitions training data
 // non-IID, and assigns devices round-robin over the consumer tiers.
@@ -343,7 +432,7 @@ func (e *Env) CloneForMethod(method string) *Env {
 	c := *e
 	c.Global = e.Global.Clone()
 	c.RNG = tensor.Named("method/" + method).Split(e.Profile.Name)
-	c.state = &envState{} // fresh counters and worker scratch, not shared
+	c.state = &envState{method: method} // fresh counters and worker scratch, not shared
 	return &c
 }
 
@@ -498,20 +587,37 @@ func RunContext(ctx context.Context, env *Env, m Rounder, target float64) (*metr
 	env.SetContext(ctx)
 	clock := simtime.NewClock()
 	tr := &metrics.Tracker{Target: env.Profile.MetricName}
-	tr.Record(0, clock.Hours(), env.Evaluate())
+	score := env.Evaluate()
+	tr.Record(0, clock.Hours(), score)
+	rec := env.Obs() // nil when observability is off; one check per run/round
+	if rec != nil {
+		rec.BeginRun(obs.RunMeta{Method: m.Name(), Dataset: env.Profile.Name, Participants: env.Cfg.Participants})
+		rec.EndRound(obs.Round{Round: 0, Score: score})
+	}
 	for r := 0; r < env.Cfg.MaxRounds; r++ {
 		if err := ctx.Err(); err != nil {
 			return tr, clock, err
 		}
+		startSec := clock.Seconds()
 		phases := m.Round(env, r)
 		if err := ctx.Err(); err != nil {
 			// The round was abandoned mid-way; its partial work is discarded.
 			return tr, clock, err
 		}
 		clock.AdvanceAll(phases) // sorted: simulated time accumulates bit-reproducibly
-		env.TakeRoundObs()       // reset per-round counters for drivers that ignore them
+		o := env.TakeRoundObs()  // drained every round; drivers without a recorder discard it
 		score := env.Evaluate()
 		tr.Record(r+1, clock.Hours(), score)
+		if rec != nil {
+			rec.EndRound(obs.Round{
+				Round: r + 1, StartSec: startSec, EndSec: clock.Seconds(), Score: score,
+				UplinkBytes: o.UplinkBytes, DownlinkBytes: o.DownlinkBytes,
+				ExpertsTouched: o.ExpertsTouched,
+				Selected:       o.Selected, Completed: o.Completed, Dropped: o.Dropped,
+				Pending: o.Pending, ModelVersion: o.ModelVersion, Stale: o.Stale,
+				Phases: phaseStrings(phases),
+			})
+		}
 		if target > 0 && score >= target {
 			break
 		}

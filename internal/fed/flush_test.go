@@ -91,7 +91,7 @@ func TestFlushBlendsIntoGlobal(t *testing.T) {
 	u := ExtractUpdate(c, 0, 1, [][]int{{0}})
 
 	sr := serverRound{}
-	env.flush([]pendingUpdate{{update: u, birth: 0}}, 2, &sr, 0)
+	env.flush([]pendingUpdate{{update: u, birth: 0}}, 2, &sr, 0, 0)
 
 	after := m.ExpertAt(0, 0).FlattenTo(nil)
 	for i := range after {

@@ -24,7 +24,9 @@
 package fed
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -158,14 +160,22 @@ func ForEachOf(env *Env, participants []int, fn func(s *Scratch, slot, participa
 		s.off = 0
 	}
 
+	// Worker goroutines run under pprof labels so -cpuprofile samples are
+	// attributable: the pool sets {method, phase=participants} and bodies
+	// refine the phase via env.MarkPhase. A handful of label allocations per
+	// round, well inside the bench alloc budget, and zero behavioral effect.
+	labels := pprof.Labels("method", env.methodName(), "phase", "participants")
+
 	if workers == 1 {
 		s := scratch[0]
-		for slot := 0; slot < n; slot++ {
-			if env.Canceled() {
-				break
+		pprof.Do(env.Context(), labels, func(context.Context) {
+			for slot := 0; slot < n; slot++ {
+				if env.Canceled() {
+					break
+				}
+				fn(s, slot, participants[slot])
 			}
-			fn(s, slot, participants[slot])
-		}
+		})
 		return env.Context().Err()
 	}
 
@@ -182,13 +192,15 @@ func ForEachOf(env *Env, participants []int, fn func(s *Scratch, slot, participa
 					panicOnce.Do(func() { panicked = p })
 				}
 			}()
-			for {
-				slot := int(next.Add(1)) - 1
-				if slot >= n || env.Canceled() {
-					return
+			pprof.Do(env.Context(), labels, func(context.Context) {
+				for {
+					slot := int(next.Add(1)) - 1
+					if slot >= n || env.Canceled() {
+						return
+					}
+					fn(s, slot, participants[slot])
 				}
-				fn(s, slot, participants[slot])
-			}
+			})
 		}(s)
 	}
 	wg.Wait()

@@ -36,6 +36,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -172,6 +173,25 @@ type serverRound struct {
 	stale     int     // of those, aggregated with staleness > 0
 	experts   int     // expert aggregations applied, summed over flushes
 	serverSec float64 // server-side aggregation seconds, summed over flushes
+
+	// Observability collection, active only when a recorder is attached
+	// (track). birth is the global version at round entry — every fresh
+	// arrival's birth — so flush can tell fresh updates from carry-overs.
+	// With track off nothing below is appended to, keeping disabled-path
+	// allocations at zero.
+	track   bool
+	birth   int
+	flushes []obs.Flush
+	agg     []aggEntry
+}
+
+// aggEntry records one update's aggregation for observability: which
+// participant it came from, the staleness it was discounted at, and whether
+// it was fresh this round (vs carried from an earlier one).
+type aggEntry struct {
+	participant int
+	staleness   int
+	fresh       bool
 }
 
 // flush aggregates the buffered updates in buffer order, staleness-discounted
@@ -185,13 +205,20 @@ type serverRound struct {
 // anchor pseudo-update weighted by the unrepresented cohort fraction: the
 // buffer moves the model with server rate η = |buffer|/cohort, and a buffer
 // covering the full cohort degenerates to the synchronous replacement.
-func (e *Env) flush(buf []pendingUpdate, cohortN int, sr *serverRound, alpha float64) {
+// at is the flush trigger's offset from round start in simulated seconds,
+// recorded (with the flush's composition) for the observability sinks when a
+// recorder is attached.
+func (e *Env) flush(buf []pendingUpdate, cohortN int, sr *serverRound, alpha float64, at float64) {
 	scaled := make([]Update, 0, len(buf)+1)
+	staleBefore := sr.stale
 	var bytes, total float64
 	for _, p := range buf {
 		staleness := sr.version - p.birth
 		if staleness > 0 {
 			sr.stale++
+		}
+		if sr.track {
+			sr.agg = append(sr.agg, aggEntry{participant: p.update.Participant, staleness: staleness, fresh: p.birth == sr.birth})
 		}
 		u := p.update
 		w := u.Weight
@@ -226,6 +253,18 @@ func (e *Env) flush(buf []pendingUpdate, cohortN int, sr *serverRound, alpha flo
 	sr.completed += len(buf)
 	sr.serverSec += bytes / e.Cfg.ServerBw
 	sr.version++
+	if sr.track {
+		carried := 0
+		for _, p := range buf {
+			if p.birth != sr.birth {
+				carried++
+			}
+		}
+		sr.flushes = append(sr.flushes, obs.Flush{
+			At: at, Dur: bytes / e.Cfg.ServerBw, Size: len(buf),
+			Carried: carried, Stale: sr.stale - staleBefore, Version: sr.version,
+		})
+	}
 }
 
 // FinishRound is the event-driven replacement for a Rounder's synchronous
@@ -256,9 +295,10 @@ func (e *Env) FinishRound(cohort []int, results []SlotResult) map[simtime.Phase]
 	if !e.Cfg.Agg.Active() {
 		panic("fed: FinishRound called without an active aggregation spec")
 	}
+	rec := e.Obs() // fetched before taking st.mu (Obs locks it too)
 	st := e.st()
 	st.mu.Lock()
-	sr := serverRound{version: st.version}
+	sr := serverRound{version: st.version, birth: st.version, track: rec != nil}
 	carried := st.pending
 	st.pending = nil
 	st.mu.Unlock()
@@ -294,9 +334,40 @@ func (e *Env) FinishRound(cohort []int, results []SlotResult) map[simtime.Phase]
 	var leftovers []pendingUpdate
 	switch e.Cfg.Agg.Mode {
 	case ModeAsync:
-		phases, leftovers = e.finishAsync(order, results, carried, &sr)
+		phases, leftovers = e.finishAsync(order, totals, results, carried, &sr)
 	case ModeSemiSync:
 		phases, leftovers = e.finishSemiSync(order, totals, results, carried, &sr)
+	}
+
+	if rec != nil {
+		// Per-participant observations in slot order (the determinism
+		// contract's reduction order). Staleness is reported for updates
+		// aggregated this round; Pending marks fresh arrivals still buffered
+		// at round end (they carry into the next round's first flush).
+		freshStale := make(map[int]int, len(results))
+		for _, a := range sr.agg {
+			if a.fresh {
+				freshStale[a.participant] = a.staleness
+			}
+		}
+		pendingSet := make(map[int]bool, len(leftovers))
+		for _, p := range leftovers {
+			if p.birth == sr.birth {
+				pendingSet[p.update.Participant] = true
+			}
+		}
+		for slot, p := range results {
+			id := cohort[slot]
+			rec.Participant(obs.Participant{
+				Index: id, Device: e.Devices[id].Name,
+				Phases:      phaseStrings(p.Phases),
+				UplinkBytes: p.Bytes, DownlinkBytes: p.DownBytes,
+				Staleness: freshStale[id], Pending: pendingSet[id],
+			})
+		}
+		for _, f := range sr.flushes {
+			rec.Flush(f)
+		}
 	}
 
 	st.mu.Lock()
@@ -317,7 +388,7 @@ func (e *Env) FinishRound(cohort []int, results []SlotResult) map[simtime.Phase]
 
 // finishAsync walks the arrival order, buffering updates and flushing every
 // K. Returns the round's phase map and the deep-copied leftovers.
-func (e *Env) finishAsync(order []int, results []SlotResult, carried []pendingUpdate, sr *serverRound) (map[simtime.Phase]float64, []pendingUpdate) {
+func (e *Env) finishAsync(order []int, totals []float64, results []SlotResult, carried []pendingUpdate, sr *serverRound) (map[simtime.Phase]float64, []pendingUpdate) {
 	k := e.Cfg.Agg.bufferFor(len(results))
 	alpha := e.Cfg.Agg.StalenessAlpha
 	// Every arrival trained against the model broadcast at round entry; a
@@ -328,7 +399,7 @@ func (e *Env) finishAsync(order []int, results []SlotResult, carried []pendingUp
 	for _, slot := range order {
 		buf = append(buf, pendingUpdate{update: results[slot].Update, birth: birth, bytes: results[slot].Bytes})
 		if len(buf) >= k {
-			e.flush(buf, len(results), sr, alpha)
+			e.flush(buf, len(results), sr, alpha, totals[slot])
 			buf = buf[:0]
 			trigger = slot
 		}
@@ -338,7 +409,7 @@ func (e *Env) finishAsync(order []int, results []SlotResult, carried []pendingUp
 		// once so every round makes progress (and observers always see an
 		// aggregation). The last arrival triggers it.
 		trigger = order[len(order)-1]
-		e.flush(buf, len(results), sr, alpha)
+		e.flush(buf, len(results), sr, alpha, totals[trigger])
 		buf = buf[:0]
 	}
 	leftovers := make([]pendingUpdate, 0, len(buf))
@@ -383,6 +454,7 @@ func (e *Env) finishSemiSync(order []int, totals []float64, results []SlotResult
 	}
 
 	phases := make(map[simtime.Phase]float64)
+	flushAt := clock
 	if len(buf) == 0 {
 		// Nothing flushable at the clock: the server waits past it for the
 		// single fastest arrival (a round cannot aggregate nothing). The
@@ -390,6 +462,7 @@ func (e *Env) finishSemiSync(order []int, totals []float64, results []SlotResult
 		first := late[0]
 		buf = append(buf, pendingUpdate{update: results[first].Update, birth: birth, bytes: results[first].Bytes})
 		late = late[1:]
+		flushAt = totals[first]
 		//fluxvet:unordered map-to-map copy; per-key writes, element order irrelevant
 		for p, v := range results[first].Phases {
 			phases[p] = v
@@ -410,7 +483,7 @@ func (e *Env) finishSemiSync(order []int, totals []float64, results []SlotResult
 			phases[simtime.PhaseStraggler] += wait
 		}
 	}
-	e.flush(buf, len(results), sr, alpha)
+	e.flush(buf, len(results), sr, alpha, flushAt)
 	phases[simtime.PhaseComm] += sr.serverSec
 
 	leftovers := make([]pendingUpdate, 0, len(late))

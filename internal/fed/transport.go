@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/moe"
+	"repro/internal/obs"
 )
 
 // This file implements a real network deployment of the federated loop: a
@@ -100,9 +101,38 @@ type Server struct {
 	// update, final). Zero means DefaultIOTimeout.
 	IOTimeout time.Duration
 
+	// Metrics, when non-nil, receives live counters and gauges (rounds,
+	// wire traffic, model version, connected clients) as the deployment
+	// runs, for scraping via the registry's /metrics handler. Nil costs
+	// nothing and changes nothing.
+	Metrics *obs.Registry
+
 	mu    sync.Mutex
 	peers []*peer
 	round int // rounds completed, stamps the final broadcast
+}
+
+// observeFleet registers the deployment's metric set and records the
+// connected-participant count. Registering everything up front means a
+// scrape between Accept and the first round already sees the full set at
+// zero rather than a partial exposition.
+func (s *Server) observeFleet(clients int) {
+	if s.Metrics == nil {
+		return
+	}
+	obs.RegisterStandard(s.Metrics)
+	s.Metrics.Gauge(obs.MetricClients, "").Set(float64(clients))
+}
+
+// observeRound records one completed round's traffic and version.
+func (s *Server) observeRound(r int, io RoundIO) {
+	if s.Metrics == nil {
+		return
+	}
+	s.Metrics.Counter(obs.MetricRounds, "").Add(1)
+	s.Metrics.Counter(obs.MetricUplinkBytes, "").Add(io.UpBytes)
+	s.Metrics.Counter(obs.MetricDownlinkBytes, "").Add(io.DownBytes)
+	s.Metrics.Gauge(obs.MetricModelVersion, "").Set(float64(r + 1))
 }
 
 func (s *Server) timeout() time.Duration {
@@ -181,11 +211,17 @@ func (s *Server) Accept(ctx context.Context, ln net.Listener) error {
 		seen[h.Participant] = true
 		p.id = h.Participant
 		peers = append(peers, p)
+		// Tick the gauge per accepted Hello: the assembly wait is exactly
+		// when an operator watches connected_clients climb.
+		if s.Metrics != nil {
+			s.Metrics.Gauge(obs.MetricClients, "").Set(float64(len(peers)))
+		}
 	}
 	sort.Slice(peers, func(i, j int) bool { return peers[i].id < peers[j].id })
 	s.mu.Lock()
 	s.peers = peers
 	s.mu.Unlock()
+	s.observeFleet(len(peers))
 	return nil
 }
 
@@ -244,6 +280,7 @@ func (s *Server) RunRound(ctx context.Context, r int) (RoundIO, error) {
 	s.mu.Lock()
 	s.round = r + 1
 	s.mu.Unlock()
+	s.observeRound(r, io)
 	return io, nil
 }
 
@@ -278,6 +315,9 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	for _, p := range peers {
 		p.conn.Close()
+	}
+	if s.Metrics != nil && len(peers) > 0 {
+		s.Metrics.Gauge(obs.MetricClients, "").Set(0)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/flux/merge"
 	"repro/internal/flux/profile"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/simtime"
 	"repro/internal/tensor"
@@ -128,6 +129,7 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		// The quantized profiling model is built in the worker scratch
 		// (clone-into + in-place round-trip ≡ moe.QuantizedClone, bit for bit)
 		// so steady-state profiling allocates no model.
+		env.MarkPhase(simtime.PhaseProfiling)
 		shardSeqs := env.Batch(i, round)
 		qm := ws.LocalClone(env.Global)
 		moe.Quantize(qm, r.Opts.ProfileBits)
@@ -142,12 +144,14 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		}
 
 		// --- Expert role assignment (§6). ---
+		env.MarkPhase(simtime.PhaseAssignment)
 		capacity, tune := env.Budgets(i)
 		a := assign.Assign(r.tables[i], cfg.ExpertsPerLayer, tune, eps, rng.Split("assign"))
 		tuning := a.Tuning(cfg.Layers())
 		assignSec := dev.Seconds(assignFlops(env.TotalExperts()))
 
 		// --- Adaptive merging of non-tuning experts (§5). ---
+		env.MarkPhase(simtime.PhaseMerging)
 		nonBudget := capacity - len(a.Exploit)
 		if nonBudget < cfg.Layers() {
 			nonBudget = cfg.Layers()
@@ -164,6 +168,7 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		mergeSec := dev.Seconds(mergeFlops(env.TotalExperts(), r.Opts.Merge))
 
 		// --- Local fine-tuning (§3) with data selection (§4.1). ---
+		env.MarkPhase(simtime.PhaseFineTuning)
 		batch := r.selectBatch(env, i, round, stats, a)
 		grads := ws.Grads(local)
 		tokens := 0
@@ -180,9 +185,11 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 		trainSec := dev.Seconds(simtime.TrainFlops(cfg, tokens, tuneFrac))
 
 		// --- Forward-only gradient probes for exploration experts (§6.2).---
+		env.MarkPhase(simtime.PhaseAssignment) // probes are priced under assignment
 		spsaSec := r.probeExploration(i, local, mws, batch, a, dev, cfg, rng.Split("spsa"))
 
 		// --- Upload tuning expert parameters. ---
+		env.MarkPhase(simtime.PhaseComm)
 		u := ws.ExtractUpdate(local, i, float64(len(env.Shards[i])), tuning)
 		bytes := fed.UpdateBytes(u)
 		down := float64(capacity) * simtime.ExpertBytes(cfg) // model sync down
@@ -270,6 +277,26 @@ func (r *Runner) Round(env *fed.Env, round int) map[simtime.Phase]float64 {
 	}
 	env.ObserveDownlink(downBytes)
 	serverSec := aggBytes / env.Cfg.ServerBw
+
+	// Observability: per-participant phase splits in slot order, mirroring
+	// the totals above. The nil check keeps the disabled path allocation-free.
+	if rec := env.Obs(); rec != nil {
+		for slot, p := range results {
+			i := cohort[slot]
+			rec.Participant(obs.Participant{
+				Index: i, Device: env.Devices[i].Name,
+				Phases: map[string]float64{
+					string(simtime.PhaseProfiling):  p.visibleProf,
+					string(simtime.PhaseMerging):    p.mergeSec,
+					string(simtime.PhaseAssignment): p.assignSec,
+					string(simtime.PhaseFineTuning): p.localSec - p.mergeSec,
+					string(simtime.PhaseComm):       p.commSec,
+				},
+				UplinkBytes: p.bytes, DownlinkBytes: p.downBytes,
+				Dropped: !outcome.Keep[slot],
+			})
+		}
+	}
 
 	phases := map[simtime.Phase]float64{
 		simtime.PhaseProfiling:  profMax,

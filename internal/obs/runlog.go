@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// The run log is JSONL: one self-describing record per line, distinguished
+// by a "type" field. A run starts with a single "run" record, then each
+// round emits one "round" record followed by one "participant" record per
+// cohort slot, in slot order. encoding/json keeps struct fields in
+// declaration order and sorts map keys, so the bytes are deterministic.
+type runRecord struct {
+	Type string `json:"type"`
+	RunMeta
+}
+
+type roundRecord struct {
+	Type string `json:"type"`
+	Round
+}
+
+type participantRecord struct {
+	Type string `json:"type"`
+	Participant
+}
+
+// runlogWriter streams JSONL run-log records.
+type runlogWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+func newRunlogWriter(w io.Writer) *runlogWriter {
+	bw := bufio.NewWriter(w)
+	return &runlogWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+func (l *runlogWriter) begin(meta RunMeta) error {
+	return l.enc.Encode(runRecord{Type: "run", RunMeta: meta})
+}
+
+func (l *runlogWriter) round(rd Round) error {
+	return l.enc.Encode(roundRecord{Type: "round", Round: rd})
+}
+
+func (l *runlogWriter) participant(p Participant) error {
+	return l.enc.Encode(participantRecord{Type: "participant", Participant: p})
+}
+
+func (l *runlogWriter) close() error { return l.w.Flush() }

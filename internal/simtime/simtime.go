@@ -176,6 +176,17 @@ const (
 	PhaseStraggler Phase = "straggler-wait"
 )
 
+// CanonicalPhases returns the built-in round phases in their execution
+// order: profiling, merging, assignment, fine-tuning, communication, and
+// finally straggler-wait (server idle happens after the last kept
+// participant). The observability layer lays spans out along a round in this
+// order, so traces of different methods line up phase for phase. Methods may
+// report Phase values beyond these; consumers append unknown phases in
+// sorted order after the canonical ones.
+func CanonicalPhases() []Phase {
+	return []Phase{PhaseProfiling, PhaseMerging, PhaseAssignment, PhaseFineTuning, PhaseComm, PhaseStraggler}
+}
+
 // Clock is a simulated wall clock with a per-phase breakdown.
 type Clock struct {
 	seconds float64

@@ -2,6 +2,7 @@ package flux
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/data"
 	"repro/internal/fed"
@@ -265,3 +266,27 @@ func WithRoundEvents(fn EventHandler) Option {
 		}
 	}
 }
+
+// WithTrace streams a Chrome trace-event JSON timeline of the run to w:
+// one span per round, child spans per phase, per-participant spans by phase,
+// and flush spans under event-driven aggregation. Open the file in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. All timestamps come from the
+// simulated clock, so the bytes written are identical at every worker count
+// and across same-seed runs. The run loop writes the trace; w must stay open
+// until Run returns. Nil restores the default (no trace).
+func WithTrace(w io.Writer) Option { return func(e *Experiment) { e.traceW = w } }
+
+// WithRunLog streams a structured JSONL run log to w: one "run" header
+// record, one "round" record per round (round 0 included), and one
+// "participant" record per cohort member per round with its device, phase
+// seconds, modeled traffic, and staleness. Records and their fields are
+// emitted in a stable order, so the bytes written are identical at every
+// worker count and across same-seed runs. Nil restores the default (no log).
+func WithRunLog(w io.Writer) Option { return func(e *Experiment) { e.runlogW = w } }
+
+// WithMetrics publishes live run counters and gauges (rounds, modeled
+// uplink/downlink bytes, model version, pending updates, stale updates,
+// fleet size) into reg as the run progresses, for scraping via the
+// registry's /metrics handler (see NewMetricsRegistry). Nil restores the
+// default (no metrics).
+func WithMetrics(reg *MetricsRegistry) Option { return func(e *Experiment) { e.metrics = reg } }
